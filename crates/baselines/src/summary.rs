@@ -1,0 +1,107 @@
+//! The common result record every runner produces, so the benchmark
+//! harness can compare Pagoda against each baseline uniformly.
+
+use desim::{Dur, SimTime};
+use pagoda_core::RunReport;
+
+/// What one workload run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// End-to-end time including data copies — the paper's "execution
+    /// time" (Figs. 5, 6, 9, 11).
+    pub makespan: Dur,
+    /// Instant the last task finished computing — the paper's "compute
+    /// time" (Figs. 7, 8, Table 5).
+    pub compute_done: SimTime,
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Mean per-task spawn→completion latency (Fig. 10).
+    pub mean_task_latency: Dur,
+    /// Mean fraction of GPU warp slots doing useful work (0 for CPU runs).
+    pub avg_running_occupancy: f64,
+    /// Host→device DMA busy time (Table 3's copy-share numerator).
+    pub h2d_busy: Dur,
+    /// Device→host DMA busy time.
+    pub d2h_busy: Dur,
+    /// Average per-SMM busy time (≥1 warp running) — the profiler-style
+    /// "kernel time" that Table 3's copy share is measured against.
+    pub gpu_busy: Dur,
+}
+
+impl RunSummary {
+    /// Speedup of this run over `other` on end-to-end time.
+    pub fn speedup_over(&self, other: &RunSummary) -> f64 {
+        other.makespan.as_secs_f64() / self.makespan.as_secs_f64()
+    }
+
+    /// Speedup of this run over `other` on compute time only.
+    pub fn compute_speedup_over(&self, other: &RunSummary) -> f64 {
+        other.compute_done.as_secs_f64() / self.compute_done.as_secs_f64()
+    }
+}
+
+impl RunSummary {
+    /// Fraction of profiler-visible activity spent moving data over PCIe:
+    /// `memcpy_time / (memcpy_time + kernel_time)`, the way Table 3's
+    /// "% time spent in data copy" is measured with nvprof.
+    pub fn copy_share(&self) -> f64 {
+        let copies = self.h2d_busy.as_ps() + self.d2h_busy.as_ps();
+        copies as f64 / (copies + self.gpu_busy.as_ps()).max(1) as f64
+    }
+}
+
+impl From<RunReport> for RunSummary {
+    fn from(r: RunReport) -> Self {
+        RunSummary {
+            makespan: r.makespan,
+            compute_done: r.compute_done,
+            tasks: r.tasks,
+            mean_task_latency: r.mean_task_latency,
+            avg_running_occupancy: r.avg_running_occupancy,
+            h2d_busy: r.h2d_busy,
+            d2h_busy: r.d2h_busy,
+            gpu_busy: r.gpu_busy,
+        }
+    }
+}
+
+/// Geometric mean of a slice of ratios (the paper reports geomean
+/// speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_direction() {
+        let zeroed = RunSummary {
+            makespan: Dur::from_ms(10),
+            compute_done: SimTime::from_ms(8),
+            tasks: 1,
+            mean_task_latency: Dur::ZERO,
+            avg_running_occupancy: 0.0,
+            h2d_busy: Dur::ZERO,
+            d2h_busy: Dur::ZERO,
+            gpu_busy: Dur::ZERO,
+        };
+        let fast = zeroed;
+        let slow = RunSummary {
+            makespan: Dur::from_ms(20),
+            compute_done: SimTime::from_ms(24),
+            ..zeroed
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((fast.compute_speedup_over(&slow) - 3.0).abs() < 1e-12);
+    }
+}

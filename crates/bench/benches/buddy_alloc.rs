@@ -1,0 +1,78 @@
+//! Microbenchmarks of the per-MTB buddy shared-memory allocator (§5.1):
+//! allocation/deallocation cost across block sizes, the deferred-
+//! deallocation drain, and a churn workload resembling steady-state task
+//! scheduling. The paper chose the buddy system over free-lists for
+//! bounded, low overhead — these benches quantify "low".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pagoda_core::smem::BuddyAllocator;
+use std::hint::black_box;
+
+fn bench_alloc_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy/alloc_dealloc");
+    for size in [512u32, 2048, 8192, 32 * 1024] {
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter_batched_ref(
+                BuddyAllocator::new,
+                |alloc| {
+                    let n = alloc.alloc(black_box(size)).unwrap();
+                    alloc.dealloc(n);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pool_churn(c: &mut Criterion) {
+    // Steady state of a busy MTB: the pool holds a mix of block sizes;
+    // each "task completion" marks one block and each "schedule" drains
+    // marks and allocates.
+    c.bench_function("buddy/steady_state_churn", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut a = BuddyAllocator::new();
+                let blocks: Vec<_> = (0..8).map(|_| a.alloc(4096).unwrap()).collect();
+                (a, blocks, 0usize)
+            },
+            |(a, blocks, i)| {
+                let slot = *i % blocks.len();
+                let victim = blocks[slot];
+                a.mark_for_dealloc(victim);
+                a.dealloc_marked();
+                blocks[slot] = a.alloc(4096).unwrap();
+                *i += 1;
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fragmented_search(c: &mut Criterion) {
+    // Worst case: the level scan walks the whole subtree under
+    // fragmentation before failing over to a larger check.
+    c.bench_function("buddy/fragmented_alloc", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut a = BuddyAllocator::new();
+                // 64 x 512B leaves, free every other one.
+                let leaves: Vec<_> = (0..64).map(|_| a.alloc(512).unwrap()).collect();
+                for pair in leaves.chunks(2) {
+                    a.dealloc(pair[0]);
+                }
+                a
+            },
+            |a| {
+                // 512B succeeds in a fragmented tree; 1K fails after a scan.
+                let n = a.alloc(black_box(512)).unwrap();
+                let _ = black_box(a.alloc(1024)).is_err();
+                a.dealloc(n);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_alloc_sizes, bench_full_pool_churn, bench_fragmented_search);
+criterion_main!(benches);

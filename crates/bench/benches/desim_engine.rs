@@ -1,0 +1,79 @@
+//! Microbenchmarks of the discrete-event engine: schedule/pop throughput
+//! at various queue depths and cancellation cost — the substrate every
+//! simulated second rides on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desim::{Engine, SimTime};
+use std::hint::black_box;
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim/schedule_pop");
+    for depth in [64usize, 1024, 16384] {
+        g.bench_function(format!("depth_{depth}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut e = Engine::new();
+                    for i in 0..depth {
+                        e.schedule(SimTime::from_ns(i as u64), i as u32);
+                    }
+                    (e, depth as u64)
+                },
+                |(e, next)| {
+                    let (_, v) = e.pop().unwrap();
+                    e.schedule(SimTime::from_ns(black_box(*next)), v);
+                    *next += 1;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cancel(c: &mut Criterion) {
+    c.bench_function("desim/cancel", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut e = Engine::new();
+                let keys: Vec<_> = (0..1024)
+                    .map(|i| e.schedule(SimTime::from_ns(i), i as u32))
+                    .collect();
+                (e, keys, 0usize)
+            },
+            |(e, keys, i)| {
+                if *i < keys.len() {
+                    black_box(e.cancel(keys[*i]));
+                    *i += 1;
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_drain_full_run(c: &mut Criterion) {
+    // A representative event storm: 100K events scheduled with mixed
+    // timestamps, fully drained.
+    c.bench_function("desim/drain_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut e = Engine::new();
+                for i in 0..100_000u64 {
+                    e.schedule(SimTime::from_ns((i * 2_654_435_761) % 1_000_000), i as u32);
+                }
+                e
+            },
+            |mut e| {
+                let mut count = 0u32;
+                while e.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_schedule_pop, bench_cancel, bench_drain_full_run);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Host-side throughput of the real benchmark kernels (the functional
+//! halves of the workloads): how fast the reference algorithms run on
+//! this machine. Useful when re-deriving the CPU calibration constants.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use workloads::{conv, dct, des3, filterbank, mandelbrot, matmul, slud};
+
+fn bench_mandelbrot(c: &mut Criterion) {
+    let region = mandelbrot::Region {
+        x0: -1.5,
+        y0: -1.0,
+        w: 2.0,
+        h: 2.0,
+    };
+    let mut g = c.benchmark_group("kernels/mandelbrot");
+    g.throughput(Throughput::Elements((mandelbrot::DIM * mandelbrot::DIM) as u64));
+    g.bench_function("render_64x64", |b| {
+        b.iter(|| black_box(mandelbrot::render(black_box(region), mandelbrot::DIM, 256)))
+    });
+    g.finish();
+}
+
+fn bench_des3(c: &mut Criterion) {
+    let packet: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+    let mut g = c.benchmark_group("kernels/3des");
+    g.throughput(Throughput::Bytes(packet.len() as u64));
+    g.bench_function("encrypt_8KB_packet", |b| {
+        b.iter(|| {
+            black_box(des3::encrypt_packet(
+                black_box(&packet),
+                0x0123456789ABCDEF,
+                0xFEDCBA9876543210,
+                0x1122334455667788,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let img: Vec<f32> = (0..dct::DIM * dct::DIM).map(|i| (i % 255) as f32).collect();
+    let mut g = c.benchmark_group("kernels/dct");
+    g.throughput(Throughput::Elements((dct::DIM * dct::DIM) as u64));
+    g.bench_function("dct_128x128", |b| {
+        b.iter(|| black_box(dct::dct_image(black_box(&img), dct::DIM)))
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = matmul::DIM;
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32).collect();
+    let bm: Vec<f32> = (0..n * n).map(|i| (i % 7) as f32).collect();
+    let mut g = c.benchmark_group("kernels/matmul");
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function("matmul_64", |b| {
+        b.iter(|| black_box(matmul::matmul(black_box(&a), black_box(&bm), n)))
+    });
+    g.bench_function("matmul_tiled_64", |b| {
+        b.iter(|| black_box(matmul::matmul_tiled(black_box(&a), black_box(&bm), n)))
+    });
+    g.finish();
+}
+
+fn bench_conv_and_fb(c: &mut Criterion) {
+    let img: Vec<u8> = (0..conv::DIM * conv::DIM).map(|i| (i % 255) as u8).collect();
+    let k = conv::box_kernel();
+    c.bench_function("kernels/conv_128x128", |b| {
+        b.iter(|| black_box(conv::convolve2d(black_box(&img), conv::DIM, &k)))
+    });
+
+    let signal: Vec<f32> = (0..filterbank::N_SIM).map(|i| (i as f32 * 0.01).sin()).collect();
+    let h: Vec<f32> = (0..filterbank::N_COL).map(|i| 1.0 / (i + 1) as f32).collect();
+    c.bench_function("kernels/filterbank_2048", |b| {
+        b.iter(|| black_box(filterbank::filterbank(black_box(&signal), &h, &h)))
+    });
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let n = slud::TILE;
+    let a: Vec<f32> = (0..n * n)
+        .map(|i| if i / n == i % n { 40.0 } else { (i % 5) as f32 * 0.1 })
+        .collect();
+    c.bench_function("kernels/dense_lu_32", |b| {
+        b.iter(|| black_box(slud::dense_lu(black_box(&a), n)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mandelbrot,
+    bench_des3,
+    bench_dct,
+    bench_matmul,
+    bench_conv_and_fb,
+    bench_lu
+);
+criterion_main!(benches);

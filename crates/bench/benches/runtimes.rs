@@ -1,0 +1,50 @@
+//! Simulator wall-clock throughput per runtime scheme: how many simulated
+//! tasks each co-simulation processes per host second. This bounds how
+//! large an experiment the harness can run, and doubles as a regression
+//! bench for the DES/runtime hot paths.
+
+use baselines::{
+    run_fusion, run_gemtc, run_hyperq, run_pagoda, FusionConfig, GemtcConfig, HyperQConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pagoda_core::{PagodaConfig, TaskDesc};
+use std::hint::black_box;
+use workloads::{Bench, GenOpts};
+
+fn tasks() -> Vec<TaskDesc> {
+    Bench::Fb.tasks(256, &GenOpts::default())
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let ts = tasks();
+    let mut g = c.benchmark_group("runtimes/fb_256_tasks");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ts.len() as u64));
+    g.bench_function("pagoda", |b| {
+        b.iter(|| black_box(run_pagoda(PagodaConfig::default(), &ts)))
+    });
+    g.bench_function("hyperq", |b| {
+        b.iter(|| black_box(run_hyperq(&HyperQConfig::default(), &ts)))
+    });
+    g.bench_function("gemtc", |b| {
+        b.iter(|| black_box(run_gemtc(&GemtcConfig::default(), &ts)))
+    });
+    g.bench_function("fusion", |b| {
+        b.iter(|| black_box(run_fusion(&FusionConfig::default(), &ts, 256)))
+    });
+    g.finish();
+}
+
+fn bench_task_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtimes/task_generation");
+    g.sample_size(10);
+    for b in [Bench::Mb, Bench::Des3, Bench::Slud] {
+        g.bench_function(b.name(), |bench| {
+            bench.iter(|| black_box(b.tasks(1024, &GenOpts::default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtimes, bench_task_generation);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! TaskTable-path benchmarks: the host-side spawn cost (entry search +
+//! protocol bookkeeping + simulated copies) and the DESIGN.md ablation of
+//! TaskTable rows per column (the paper fixes 32; fewer rows force more
+//! frequent aggregate copy-backs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_sim::WarpWork;
+use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc};
+use std::hint::black_box;
+
+fn spawn_burst(rows: u32, n: usize) -> f64 {
+    let cfg = PagodaConfig {
+        rows_per_column: rows,
+        ..PagodaConfig::default()
+    };
+    let mut rt = PagodaRuntime::new(cfg);
+    for _ in 0..n {
+        rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(50_000, 8.0)))
+            .unwrap();
+    }
+    rt.wait_all();
+    rt.report().makespan.as_secs_f64()
+}
+
+fn bench_spawn_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tasktable/spawn_burst_512");
+    g.sample_size(10);
+    g.bench_function("spawn_and_drain", |b| {
+        b.iter(|| black_box(spawn_burst(32, 512)))
+    });
+    g.finish();
+}
+
+fn bench_rows_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: simulated makespan is the interesting output,
+    // but this bench tracks the host-side *wall* cost of driving the
+    // protocol at different table depths.
+    let mut g = c.benchmark_group("tasktable/rows_per_column");
+    g.sample_size(10);
+    for rows in [4u32, 8, 32, 64] {
+        g.bench_function(format!("rows_{rows}"), |b| {
+            b.iter(|| black_box(spawn_burst(rows, 2048)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spawn_path, bench_rows_ablation);
+criterion_main!(benches);

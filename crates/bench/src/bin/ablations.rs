@@ -1,0 +1,130 @@
+//! Ablations of the design choices DESIGN.md calls out (beyond the
+//! paper's own Fig. 11 and Table 5 ablations, which have their own
+//! harnesses):
+//!
+//! 1. **Warp- vs threadblock-granularity resource freeing** (§6.4): the
+//!    hardware path frees a TB's warp slots only when the whole TB
+//!    retires; Pagoda frees per warp. Applied to the native scheduler on
+//!    the divergent MB workload.
+//! 2. **TaskTable rows per column** (the paper fixes 32): fewer rows
+//!    starve the pipeline and force constant copy-backs.
+//! 3. **Scheduler-cost sensitivity**: how much measured performance
+//!    depends on the charged pSched cycles.
+//! 4. **PCIe transaction-overhead sensitivity**: the spawn path's
+//!    dependence on per-copy latency.
+
+use bench::{run_wave, Cli, Scheme};
+use desim::Dur;
+use gpu_sim::DeviceConfig;
+use pagoda_core::PagodaConfig;
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(8_192);
+
+    println!("Ablation 1 — resource-freeing granularity (one 512-TB divergent kernel)");
+    {
+        // One kernel of 512 divergent 992-thread threadblocks (31 warps
+        // each, Mandelbrot straggler warps inside every TB); only ~2 TBs
+        // fit an SMM, so queued TBs wait on resources. TB-granularity
+        // freeing keeps a whole 992-thread allocation hostage to its
+        // slowest warp; warp-granularity freeing (Pagoda's rule, §6.4)
+        // lets the next TB launch as stragglers' siblings retire.
+        let mb = Bench::Mb.tasks(
+            512,
+            &GenOpts {
+                threads_per_task: 992,
+                with_io: false,
+                ..GenOpts::default()
+            },
+        );
+        let blocks: Vec<gpu_sim::BlockWork> =
+            mb.iter().map(|t| t.blocks[0].clone()).collect();
+        let shape = gpu_arch::TaskShape {
+            threads_per_tb: 992,
+            num_tbs: blocks.len() as u32,
+            regs_per_thread: 32,
+            smem_per_tb: 0,
+        };
+        let run = |free_individually: bool| {
+            let mut dev = gpu_sim::GpuDevice::new(DeviceConfig {
+                free_warps_individually: free_individually,
+                ..DeviceConfig::titan_x()
+            });
+            dev.launch_kernel(gpu_sim::KernelDesc::new(shape, blocks.clone(), 0))
+                .expect("launchable");
+            while dev.step().is_some() {}
+            dev.now()
+        };
+        let tb = run(false);
+        let warp = run(true);
+        println!(
+            "  TB-granularity   : {:>10.3} ms\n  warp-granularity : {:>10.3} ms  ({:.2}x)",
+            tb.as_ms_f64(),
+            warp.as_ms_f64(),
+            tb.as_secs_f64() / warp.as_secs_f64(),
+        );
+    }
+
+    println!("Ablation 2 — TaskTable rows per column (FB, {n} tasks; paper uses 32)");
+    {
+        let tasks = Bench::Fb.tasks(n, &GenOpts::default());
+        println!("  {:>6} {:>12}", "rows", "makespan ms");
+        for rows in [2u32, 4, 8, 16, 32, 64] {
+            let cfg = PagodaConfig {
+                rows_per_column: rows,
+                ..PagodaConfig::default()
+            };
+            let r = baselines::run_pagoda(cfg, &tasks);
+            println!("  {:>6} {:>12.3}", rows, r.makespan.as_secs_f64() * 1e3);
+        }
+    }
+
+    println!("Ablation 3 — scheduler-cost sensitivity (FB, {n} tasks)");
+    {
+        let tasks = Bench::Fb.tasks(n, &GenOpts::default());
+        println!("  {:>8} {:>12}", "pSched x", "makespan ms");
+        for scale in [0u64, 1, 4, 16] {
+            let base = PagodaConfig::default();
+            let cfg = PagodaConfig {
+                psched_cycles_base: base.psched_cycles_base * scale,
+                psched_cycles_per_warp: base.psched_cycles_per_warp * scale,
+                chain_update_cycles: base.chain_update_cycles * scale.max(1),
+                smem_alloc_cycles: base.smem_alloc_cycles * scale.max(1),
+                ..base
+            };
+            let r = baselines::run_pagoda(cfg, &tasks);
+            println!("  {:>8} {:>12.3}", scale, r.makespan.as_secs_f64() * 1e3);
+        }
+    }
+
+    println!("Ablation 4 — PCIe per-transaction overhead (FB, {n} tasks)");
+    {
+        let tasks = Bench::Fb.tasks(n, &GenOpts::default());
+        println!("  {:>10} {:>14} {:>14}", "latency ns", "Pagoda ms", "HyperQ ms");
+        for lat_ns in [200u64, 800, 3200] {
+            let pcie = pcie::PcieConfig {
+                latency: Dur::from_ns(lat_ns),
+                ..pcie::PcieConfig::default()
+            };
+            let pg_cfg = PagodaConfig {
+                pcie: pcie.clone(),
+                ..PagodaConfig::default()
+            };
+            let hq_cfg = baselines::HyperQConfig {
+                pcie,
+                ..baselines::HyperQConfig::default()
+            };
+            let pg = baselines::run_pagoda(pg_cfg, &tasks);
+            let hq = baselines::run_hyperq(&hq_cfg, &tasks);
+            println!(
+                "  {:>10} {:>14.3} {:>14.3}",
+                lat_ns,
+                pg.makespan.as_secs_f64() * 1e3,
+                hq.makespan.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    let _ = run_wave(Scheme::Sequential, &Bench::Fb.tasks(4, &GenOpts::default()));
+}

@@ -1,0 +1,42 @@
+//! Fig. 10 — Average per-task latency: statically fused kernels vs
+//! Pagoda, for 3DES (irregular) and MM (regular), as the number of tasks
+//! grows 128 → 32768.
+//!
+//! In a fused kernel (or any batch system) no task completes before the
+//! batch, so average latency grows linearly with the task count; Pagoda's
+//! per-task latency stays flat.
+
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let max_n = cli.scale(32_768);
+    let counts: Vec<usize> = std::iter::successors(Some(128usize), |n| Some(n * 2))
+        .take_while(|&n| n <= max_n)
+        .collect();
+
+    println!("Fig. 10 — Average task latency (us, log scale in the paper)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "tasks", "Fused-3DES", "Pagoda-3DES", "Fused-MM", "Pagoda-MM"
+    );
+    let mut points = Vec::new();
+    for &n in &counts {
+        let mut row = Vec::new();
+        for b in [Bench::Des3, Bench::Mm] {
+            let tasks = b.tasks(n, &GenOpts::default());
+            let fus = run_wave(Scheme::Fusion(256), &tasks);
+            let pag = run_wave(Scheme::Pagoda, &tasks);
+            row.push(fus.mean_task_latency.as_us_f64());
+            row.push(pag.mean_task_latency.as_us_f64());
+            points.push(DataPoint::new("fig10", b.name(), Scheme::Fusion(256), Some(n as u64), &fus, None));
+            points.push(DataPoint::new("fig10", b.name(), Scheme::Pagoda, Some(n as u64), &pag, None));
+        }
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",
+            n, row[0], row[1], row[2], row[3]
+        );
+    }
+    emit_json(&cli, &points);
+}

@@ -1,0 +1,57 @@
+//! Fig. 11 — Benefits of continuous spawning and concurrent, pipelined
+//! task processing.
+//!
+//! Three configurations, speedup over GeMTC: GeMTC (neither mechanism),
+//! Pagoda-Batching (concurrent scheduling but batch-synchronous spawning,
+//! same batch size as GeMTC), and full Pagoda (both). 32 K tasks, 128
+//! threads each. Paper findings: Pagoda wins everywhere; CONV benefits
+//! least from continuous spawning (regular, extremely short tasks); MPE
+//! benefits most (unbalanced tasks).
+
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(32_768);
+    // GeMTC's batch = one task per SuperKernel worker: 16 TBs/SMM x 24.
+    let batch = 16 * 24;
+    let benches = [
+        Bench::Mb,
+        Bench::Conv,
+        Bench::Fb,
+        Bench::Bf,
+        Bench::Des3,
+        Bench::Dct,
+        Bench::Mm,
+        Bench::Mpe,
+    ];
+
+    println!("Fig. 11 — Continuous spawning + pipelined processing ({n} tasks, speedup over GeMTC)");
+    println!(
+        "{:>6} | {:>8} {:>16} {:>8}",
+        "bench", "GeMTC", "Pagoda-Batching", "Pagoda"
+    );
+    let mut points = Vec::new();
+    for b in benches {
+        let tasks = b.tasks(n, &GenOpts::default());
+        let gm = run_wave(Scheme::Gemtc, &tasks);
+        let pb = run_wave(Scheme::PagodaBatched(batch), &tasks);
+        let pg = run_wave(Scheme::Pagoda, &tasks);
+        println!(
+            "{:>6} | {:>8.2} {:>16.2} {:>8.2}",
+            b.name(),
+            1.0,
+            pb.speedup_over(&gm),
+            pg.speedup_over(&gm),
+        );
+        for (s, r) in [
+            (Scheme::Gemtc, &gm),
+            (Scheme::PagodaBatched(batch), &pb),
+            (Scheme::Pagoda, &pg),
+        ] {
+            points.push(DataPoint::new("fig11", b.name(), s, None, r, Some(&gm)));
+        }
+    }
+    emit_json(&cli, &points);
+}

@@ -1,0 +1,85 @@
+//! Fig. 5 — Overall performance comparison.
+//!
+//! Speedup over the sequential CPU for PThreads (20 cores), CUDA-HyperQ,
+//! GeMTC, and Pagoda on every benchmark at the paper's task counts (32 K;
+//! SLUD 273 K), 128 threads per task, execution time including data
+//! copies. Paper headline: Pagoda 5.70× over PThreads, 1.51× over
+//! HyperQ, 1.69× over GeMTC (geometric means).
+
+use baselines::geomean;
+use bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Fig. 5 — Overall Performance Comparison (speedup over sequential CPU)");
+    println!("{:>6} {:>8} | {:>10} {:>12} {:>10} {:>10}", "bench", "tasks", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda");
+
+    let mut points = Vec::new();
+    let (mut r_pth, mut r_hq, mut r_gm) = (Vec::new(), Vec::new(), Vec::new());
+
+    for b in Bench::ALL {
+        let n = cli.scale(b.paper_task_count());
+        let plain = GenOpts {
+            use_smem: false,
+            ..GenOpts::default()
+        };
+        let smem = GenOpts {
+            use_smem: b.uses_smem(),
+            ..GenOpts::default()
+        };
+        // GeMTC has no shared-memory support (paper §6.2), so it runs the
+        // plain versions; Pagoda/HyperQ run the smem versions where they
+        // help. CPU timing depends only on operation counts.
+        let waves_plain = bench_waves(b, n, &plain);
+        let waves_smem = bench_waves(b, n, &smem);
+        let tasks_total: usize = waves_plain.iter().map(Vec::len).sum();
+
+        let seq = run_waves(Scheme::Sequential, &waves_plain);
+        let pth = run_waves(Scheme::PThreads, &waves_plain);
+        let hq = run_waves(Scheme::HyperQ, &waves_smem);
+        let gm = b
+            .supports_gemtc()
+            .then(|| run_waves(Scheme::Gemtc, &waves_plain));
+        let pg = run_waves(Scheme::Pagoda, &waves_smem);
+
+        let su = |s: &baselines::RunSummary| s.speedup_over(&seq);
+        println!(
+            "{:>6} {:>8} | {:>10.2} {:>12.2} {:>10} {:>10.2}",
+            b.name(),
+            tasks_total,
+            su(&pth),
+            su(&hq),
+            gm.as_ref().map_or("n/a".to_string(), |g| format!("{:.2}", su(g))),
+            su(&pg),
+        );
+
+        r_pth.push(pg.speedup_over(&pth));
+        r_hq.push(pg.speedup_over(&hq));
+        if let Some(g) = &gm {
+            r_gm.push(pg.speedup_over(g));
+        }
+
+        for (scheme, s) in [
+            (Scheme::Sequential, Some(&seq)),
+            (Scheme::PThreads, Some(&pth)),
+            (Scheme::HyperQ, Some(&hq)),
+            (Scheme::Gemtc, gm.as_ref()),
+            (Scheme::Pagoda, Some(&pg)),
+        ] {
+            if let Some(s) = s {
+                points.push(DataPoint::new("fig5", b.name(), scheme, None, s, Some(&seq)));
+            }
+        }
+    }
+
+    println!("---");
+    println!(
+        "geomean Pagoda speedups: {:.2}x over PThreads (paper 5.70x), \
+         {:.2}x over CUDA-HyperQ (paper 1.51x), {:.2}x over GeMTC (paper 1.69x)",
+        geomean(&r_pth),
+        geomean(&r_hq),
+        geomean(&r_gm),
+    );
+    emit_json(&cli, &points);
+}

@@ -1,0 +1,42 @@
+//! Fig. 6 — Weak scaling with the number of tasks.
+//!
+//! Execution time (copies included) vs task count 64 → 32768 for MB,
+//! CONV, DCT, 3DES, MPE under CUDA-HyperQ, GeMTC, and Pagoda, 128 threads
+//! per task. Paper finding: below ~512 tasks no scheme fills the GPU and
+//! HyperQ/GeMTC hold their own; beyond 512 Pagoda pulls ahead and scales
+//! almost linearly.
+
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let max_n = cli.scale(32_768);
+    let counts: Vec<usize> = std::iter::successors(Some(64usize), |n| Some(n * 4))
+        .take_while(|&n| n <= max_n)
+        .collect();
+
+    println!("Fig. 6 — Weak scaling: execution time (ms) vs number of tasks");
+    let mut points = Vec::new();
+    for b in [Bench::Mb, Bench::Conv, Bench::Dct, Bench::Des3, Bench::Mpe] {
+        println!("--- {}", b.name());
+        println!("{:>8} {:>14} {:>12} {:>12}", "tasks", "CUDA-HyperQ", "GeMTC", "Pagoda");
+        for &n in &counts {
+            let tasks = b.tasks(n, &GenOpts::default());
+            let hq = run_wave(Scheme::HyperQ, &tasks);
+            let gm = run_wave(Scheme::Gemtc, &tasks);
+            let pg = run_wave(Scheme::Pagoda, &tasks);
+            println!(
+                "{:>8} {:>14.3} {:>12.3} {:>12.3}",
+                n,
+                hq.makespan.as_secs_f64() * 1e3,
+                gm.makespan.as_secs_f64() * 1e3,
+                pg.makespan.as_secs_f64() * 1e3,
+            );
+            for (s, r) in [(Scheme::HyperQ, &hq), (Scheme::Gemtc, &gm), (Scheme::Pagoda, &pg)] {
+                points.push(DataPoint::new("fig6", b.name(), s, Some(n as u64), r, None));
+            }
+        }
+    }
+    emit_json(&cli, &points);
+}

@@ -1,0 +1,70 @@
+//! Fig. 7 — Compute time vs threads per task.
+//!
+//! 32 K tasks, constant work per task, thread count swept 32 → 512; no
+//! shared memory anywhere (GeMTC cannot use it), data copies excluded
+//! (compute time only). Paper findings: Pagoda wins at every width
+//! (geomean 2.29× over HyperQ and 2.26× over GeMTC at 128 threads);
+//! Pagoda's advantage over HyperQ shrinks as tasks widen (underutilization
+//! becomes less severe); GeMTC barely changes with width.
+
+use baselines::geomean;
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(32_768);
+    let widths = [32u32, 64, 128, 256, 512];
+    let benches = [
+        Bench::Mb,
+        Bench::Fb,
+        Bench::Bf,
+        Bench::Conv,
+        Bench::Dct,
+        Bench::Mm,
+        Bench::Des3,
+        Bench::Mpe,
+    ];
+
+    println!("Fig. 7 — Compute time (ms) vs threads per task ({n} tasks, no smem, no copies)");
+    let mut points = Vec::new();
+    let (mut r128_hq, mut r128_gm) = (Vec::new(), Vec::new());
+    for b in benches {
+        println!("--- {}", b.name());
+        println!("{:>8} {:>14} {:>12} {:>12}", "threads", "CUDA-HyperQ", "GeMTC", "Pagoda");
+        for &w in &widths {
+            let opts = GenOpts {
+                threads_per_task: w,
+                use_smem: false,
+                with_io: false,
+                ..GenOpts::default()
+            };
+            let tasks = b.tasks(n, &opts);
+            let hq = run_wave(Scheme::HyperQ, &tasks);
+            let gm = run_wave(Scheme::Gemtc, &tasks);
+            let pg = run_wave(Scheme::Pagoda, &tasks);
+            println!(
+                "{:>8} {:>14.3} {:>12.3} {:>12.3}",
+                w,
+                hq.compute_done.as_ms_f64(),
+                gm.compute_done.as_ms_f64(),
+                pg.compute_done.as_ms_f64(),
+            );
+            if w == 128 {
+                r128_hq.push(pg.compute_speedup_over(&hq));
+                r128_gm.push(pg.compute_speedup_over(&gm));
+            }
+            for (s, r) in [(Scheme::HyperQ, &hq), (Scheme::Gemtc, &gm), (Scheme::Pagoda, &pg)] {
+                points.push(DataPoint::new("fig7", b.name(), s, Some(u64::from(w)), r, None));
+            }
+        }
+    }
+    println!("---");
+    println!(
+        "geomean Pagoda compute speedup at 128 threads: {:.2}x over HyperQ (paper 2.29x), \
+         {:.2}x over GeMTC (paper 2.26x)",
+        geomean(&r128_hq),
+        geomean(&r128_gm),
+    );
+    emit_json(&cli, &points);
+}

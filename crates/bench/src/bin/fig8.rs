@@ -1,0 +1,77 @@
+//! Fig. 8 — Effects of varying threads per task for different input
+//! sizes (MM and CONV).
+//!
+//! For each input size (16² … 256²) and per-task thread count (256 …
+//! 65536), the bar is Pagoda's compute-time speedup over CUDA-HyperQ.
+//! HyperQ runs 256-thread threadblocks; Pagoda tasks split into
+//! ≤512-thread threadblocks (an MTB's executor capacity is 992 threads).
+//! Paper findings: large speedups while tasks stay narrow (≤512 threads);
+//! the benefit fades once HyperQ can fill the machine; warp-granularity
+//! scheduling keeps Pagoda competitive even at very wide tasks.
+
+use bench::{emit_json, reshape_task, run_wave, Cli, DataPoint, Scheme};
+use workloads::{conv, matmul, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    // The paper uses 32 K tasks; the default here is 4096 because the
+    // widest configurations are 512× the normal warp volume. Scale up
+    // with --tasks for the full grid.
+    let n = cli.scale(4_096);
+    let dims = [16usize, 32, 64, 128, 256];
+    let threads = [256u32, 512, 1024, 4096, 16384];
+
+    println!("Fig. 8 — Pagoda compute speedup over CUDA-HyperQ (input size x threads/task, {n} tasks)");
+    let mut points = Vec::new();
+    let cases: Vec<(&str, Box<dyn Fn(usize) -> pagoda_core::TaskDesc>)> = vec![
+        (
+            "MM",
+            Box::new(|d: usize| {
+                let opts = GenOpts { with_io: false, ..GenOpts::default() };
+                matmul::tasks_sized(1, d, &opts).remove(0)
+            }),
+        ),
+        (
+            "CONV",
+            Box::new(|d: usize| {
+                let opts = GenOpts { with_io: false, ..GenOpts::default() };
+                conv::tasks_sized(1, d, &opts).remove(0)
+            }),
+        ),
+    ];
+    for (name, make) in cases {
+        println!("--- {name}");
+        print!("{:>10}", "input");
+        for t in threads {
+            print!("{t:>9}");
+        }
+        println!();
+        for d in dims {
+            let base = make(d);
+            print!("{:>7}x{:<2}", d, d);
+            for t in threads {
+                let hq_task = reshape_task(&base, t, 256);
+                let pg_task = reshape_task(&base, t, t.min(512));
+                let hq_tasks = vec![hq_task; n];
+                let pg_tasks = vec![pg_task; n];
+                let hq = run_wave(Scheme::HyperQ, &hq_tasks);
+                let pg = run_wave(Scheme::Pagoda, &pg_tasks);
+                let speedup = pg.compute_speedup_over(&hq);
+                print!("{speedup:>9.2}");
+                let mut p = DataPoint::new(
+                    "fig8",
+                    name,
+                    Scheme::Pagoda,
+                    Some(u64::from(t)),
+                    &pg,
+                    None,
+                );
+                p.speedup = speedup;
+                p.param = Some((d as u64) << 32 | u64::from(t));
+                points.push(p);
+            }
+            println!();
+        }
+    }
+    emit_json(&cli, &points);
+}

@@ -1,0 +1,72 @@
+//! Fig. 9 — Static fusion vs Pagoda vs PThreads (vs HyperQ) on irregular
+//! tasks.
+//!
+//! Task input sizes are drawn pseudo-randomly; runtime schemes
+//! (Pagoda/HyperQ) size each task at 32-256 threads, while static fusion
+//! fixes every sub-task at 256 threads. Speedups over the sequential CPU.
+//! SLUD is excluded (no static task list). Paper headline: Pagoda 1.79×
+//! geomean over static fusion.
+
+use baselines::geomean;
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{irregular_tasks, Bench, GenOpts, ThreadPolicy};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(32_768);
+    let benches = [
+        Bench::Mb,
+        Bench::Conv,
+        Bench::Dct,
+        Bench::Fb,
+        Bench::Bf,
+        Bench::Mm,
+        Bench::Des3,
+        Bench::Mpe,
+    ];
+
+    println!("Fig. 9 — Irregular tasks ({n}): speedup over sequential CPU");
+    println!(
+        "{:>6} | {:>13} {:>10} {:>10} {:>12}",
+        "bench", "Static-Fusion", "Pagoda", "PThreads", "CUDA-HyperQ"
+    );
+    let mut points = Vec::new();
+    let mut pagoda_over_fusion = Vec::new();
+    for b in benches {
+        // Compute-dominant inputs (6x the default work per task, thread
+        // counts unchanged): Fig. 9's fusion-vs-runtime comparison is
+        // about load imbalance inside the compute phase, so tasks must be
+        // large enough that the spawn path is not the bottleneck.
+        let opts = GenOpts { work_scale: 6.0, ..GenOpts::default() };
+        let matched = irregular_tasks(b, n, ThreadPolicy::Matched, &opts);
+        let fixed = irregular_tasks(b, n, ThreadPolicy::Fixed(256), &opts);
+        let seq = run_wave(Scheme::Sequential, &matched);
+        let fus = run_wave(Scheme::Fusion(256), &fixed);
+        let pag = run_wave(Scheme::Pagoda, &matched);
+        let pth = run_wave(Scheme::PThreads, &matched);
+        let hq = run_wave(Scheme::HyperQ, &matched);
+        println!(
+            "{:>6} | {:>13.2} {:>10.2} {:>10.2} {:>12.2}",
+            b.name(),
+            fus.speedup_over(&seq),
+            pag.speedup_over(&seq),
+            pth.speedup_over(&seq),
+            hq.speedup_over(&seq),
+        );
+        pagoda_over_fusion.push(pag.speedup_over(&fus));
+        for (s, r) in [
+            (Scheme::Fusion(256), &fus),
+            (Scheme::Pagoda, &pag),
+            (Scheme::PThreads, &pth),
+            (Scheme::HyperQ, &hq),
+        ] {
+            points.push(DataPoint::new("fig9", b.name(), s, None, r, Some(&seq)));
+        }
+    }
+    println!("---");
+    println!(
+        "geomean Pagoda speedup over static fusion: {:.2}x (paper 1.79x)",
+        geomean(&pagoda_over_fusion)
+    );
+    emit_json(&cli, &points);
+}

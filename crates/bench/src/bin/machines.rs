@@ -1,0 +1,50 @@
+//! Cross-machine check: the paper micro-validated the TaskTable's
+//! host/device visibility behaviour on both a Maxwell Titan X and a
+//! Kepler Tesla K40. This harness runs the whole stack on both machine
+//! models: the MasterKernel shape adapts (2 MTBs per SMM → 30 MTBs on
+//! the K40's 15 SMMs), and the relative Pagoda-vs-HyperQ ordering must
+//! survive the architecture change.
+
+use bench::{run_wave, Cli, Scheme};
+use gpu_arch::GpuSpec;
+use gpu_sim::DeviceConfig;
+use pagoda_core::PagodaConfig;
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(8_192);
+    println!("Machine sweep — Pagoda vs HyperQ on both validation platforms ({n} tasks)");
+    println!(
+        "{:>16} {:>6} {:>8} | {:>12} {:>12} {:>8}",
+        "machine", "SMMs", "MTBs", "Pagoda ms", "HyperQ ms", "ratio"
+    );
+    for spec in [GpuSpec::titan_x(), GpuSpec::tesla_k40()] {
+        let device = DeviceConfig::new(spec.clone());
+        let pg_cfg = PagodaConfig {
+            device: device.clone(),
+            ..PagodaConfig::default()
+        };
+        let hq_cfg = baselines::HyperQConfig {
+            device,
+            ..baselines::HyperQConfig::default()
+        };
+        let mtbs = pg_cfg.num_mtbs();
+        for b in [Bench::Fb, Bench::Mb] {
+            let tasks = b.tasks(n, &GenOpts::default());
+            let pg = baselines::run_pagoda(pg_cfg.clone(), &tasks);
+            let hq = baselines::run_hyperq(&hq_cfg, &tasks);
+            println!(
+                "{:>16} {:>6} {:>8} | {:>12.3} {:>12.3} {:>7.2}x  ({})",
+                spec.name,
+                spec.num_sms,
+                mtbs,
+                pg.makespan.as_secs_f64() * 1e3,
+                hq.makespan.as_secs_f64() * 1e3,
+                hq.makespan.as_secs_f64() / pg.makespan.as_secs_f64(),
+                b.name(),
+            );
+        }
+    }
+    let _ = run_wave(Scheme::Sequential, &Bench::Fb.tasks(4, &GenOpts::default()));
+}

@@ -1,0 +1,27 @@
+//! Quick calibration sanity: one benchmark across all runtimes.
+use baselines::*;
+use pagoda_core::PagodaConfig;
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let opts = GenOpts::default();
+    for b in [Bench::Fb, Bench::Mb, Bench::Dct, Bench::Mm] {
+        let tasks = b.tasks(n, &opts);
+        let seq = run_sequential(&CpuConfig::default(), &tasks);
+        let pth = run_pthreads(&CpuConfig::default(), &tasks);
+        let hq = run_hyperq(&HyperQConfig::default(), &tasks);
+        let gm = run_gemtc(&GemtcConfig::default(), &tasks);
+        let pg = run_pagoda(PagodaConfig::default(), &tasks);
+        println!(
+            "{:5} n={} | seq {:8.2}ms | pth {:8.2}ms ({:4.1}x) | hq {:8.2}ms ({:4.1}x) | gm {:8.2}ms ({:4.1}x) | pagoda {:8.2}ms ({:4.1}x) occ={:.2}",
+            b.name(), n,
+            seq.makespan.as_secs_f64()*1e3,
+            pth.makespan.as_secs_f64()*1e3, pth.speedup_over(&seq),
+            hq.makespan.as_secs_f64()*1e3, hq.speedup_over(&seq),
+            gm.makespan.as_secs_f64()*1e3, gm.speedup_over(&seq),
+            pg.makespan.as_secs_f64()*1e3, pg.speedup_over(&seq),
+            pg.avg_running_occupancy,
+        );
+    }
+}

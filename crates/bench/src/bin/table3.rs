@@ -1,0 +1,45 @@
+//! Table 3 — Benchmark characteristics: the % of CUDA-HyperQ execution
+//! time spent in data copy vs computation, per benchmark, plus the static
+//! characteristics (task counts, sync/smem flags).
+
+use bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table 3 — Benchmark characteristics (measured under CUDA-HyperQ)");
+    println!(
+        "{:>6} {:>8} {:>8} {:>9} {:>6} {:>6}  paper-copy%",
+        "bench", "tasks", "copy%", "compute%", "smem", "sync"
+    );
+    let paper_copy = [
+        (Bench::Mb, 24),
+        (Bench::Fb, 35),
+        (Bench::Bf, 13),
+        (Bench::Conv, 30),
+        (Bench::Dct, 81),
+        (Bench::Mm, 51),
+        (Bench::Slud, 3),
+        (Bench::Des3, 74),
+    ];
+    let mut points = Vec::new();
+    for (b, paper) in paper_copy {
+        let n = cli.scale(b.paper_task_count().min(32_768));
+        let waves = bench_waves(b, n, &GenOpts::default());
+        let tasks_total: usize = waves.iter().map(Vec::len).sum();
+        let hq = run_waves(Scheme::HyperQ, &waves);
+        let copy = hq.copy_share() * 100.0;
+        let sample = &waves[0][0];
+        println!(
+            "{:>6} {:>8} {:>7.0}% {:>8.0}% {:>6} {:>6}  {paper}%",
+            b.name(),
+            tasks_total,
+            copy,
+            100.0 - copy,
+            if b.uses_smem() { "yes" } else { "no" },
+            if sample.sync { "yes" } else { "no" },
+        );
+        points.push(DataPoint::new("table3", b.name(), Scheme::HyperQ, None, &hq, None));
+    }
+    emit_json(&cli, &points);
+}

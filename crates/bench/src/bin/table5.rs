@@ -1,0 +1,50 @@
+//! Table 5 — Pagoda's software shared-memory management: compute-time
+//! speedup over CUDA-HyperQ (whose kernels also use shared memory) with
+//! and without Pagoda's shared-memory allocation, plus the achieved
+//! running occupancy. DCT tasks use 64 threads, MM tasks 256 (paper).
+//!
+//! Paper: DCT 1.35×/25 % occ with smem vs 1.25×/97 % without; MM 1.51×/
+//! 97 % vs 1.20×/97 %.
+
+use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use workloads::{Bench, GenOpts};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale(32_768);
+    println!("Table 5 — Pagoda shared-memory management ({n} tasks, compute time only)");
+    println!(
+        "{:>6} {:>8} | {:>16} {:>8} | {:>16} {:>8}",
+        "bench", "threads", "smem speedup/HQ", "occ", "plain speedup/HQ", "occ"
+    );
+    let mut points = Vec::new();
+    for (b, threads) in [(Bench::Dct, 64u32), (Bench::Mm, 256u32)] {
+        let mk = |smem: bool| GenOpts {
+            threads_per_task: threads,
+            use_smem: smem,
+            with_io: false,  // compute time only
+            work_scale: 8.0, // compute-dominant inputs (see EXPERIMENTS.md)
+            ..GenOpts::default()
+        };
+        // HyperQ reference uses the shared-memory kernels (paper).
+        let hq = run_wave(Scheme::HyperQ, &b.tasks(n, &mk(true)));
+        let pg_smem = run_wave(Scheme::Pagoda, &b.tasks(n, &mk(true)));
+        let pg_plain = run_wave(Scheme::Pagoda, &b.tasks(n, &mk(false)));
+        let su = |pg: &baselines::RunSummary| pg.compute_speedup_over(&hq);
+        println!(
+            "{:>6} {:>8} | {:>15.2}x {:>7.0}% | {:>15.2}x {:>7.0}%",
+            b.name(),
+            threads,
+            su(&pg_smem),
+            pg_smem.avg_running_occupancy * 100.0,
+            su(&pg_plain),
+            pg_plain.avg_running_occupancy * 100.0,
+        );
+        let mut p1 = DataPoint::new("table5", b.name(), Scheme::Pagoda, Some(1), &pg_smem, None);
+        p1.speedup = su(&pg_smem);
+        let mut p0 = DataPoint::new("table5", b.name(), Scheme::Pagoda, Some(0), &pg_plain, None);
+        p0.speedup = su(&pg_plain);
+        points.extend([p1, p0]);
+    }
+    emit_json(&cli, &points);
+}

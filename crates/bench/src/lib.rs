@@ -1,0 +1,344 @@
+//! Experiment harness: runs task lists through every runtime scheme and
+//! prints the rows of each table and figure in the paper's evaluation
+//! (§6). One binary per experiment lives in `src/bin/` (`fig5` … `fig11`,
+//! `table3`, `table5`); Criterion microbenchmarks live in `benches/`.
+//!
+//! All experiments accept a `--tasks N` argument to scale down from the
+//! paper's 32 K tasks (useful for smoke runs); results are printed as
+//! aligned text tables plus machine-readable JSON lines on request
+//! (`--json`).
+
+use baselines::{
+    run_fusion, run_gemtc, run_hyperq, run_pagoda, run_pagoda_batched, run_pthreads,
+    run_sequential, CpuConfig, FusionConfig, GemtcConfig, HyperQConfig, RunSummary,
+};
+use desim::{Dur, SimTime};
+use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc};
+use serde::Serialize;
+
+/// A runtime scheme under comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// Single-core CPU.
+    Sequential,
+    /// 20-core PThreads task parallelism.
+    PThreads,
+    /// CUDA-HyperQ: one kernel per task.
+    HyperQ,
+    /// GeMTC SuperKernel batches.
+    Gemtc,
+    /// Pagoda, continuous spawning.
+    Pagoda,
+    /// Pagoda spawning in batches of the given size (Fig. 11 ablation).
+    PagodaBatched(usize),
+    /// Static fusion at the given sub-task width.
+    Fusion(u32),
+}
+
+impl Scheme {
+    /// Display name used in table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Sequential => "Sequential",
+            Scheme::PThreads => "PThreads",
+            Scheme::HyperQ => "CUDA-HyperQ",
+            Scheme::Gemtc => "GeMTC",
+            Scheme::Pagoda => "Pagoda",
+            Scheme::PagodaBatched(_) => "Pagoda-Batching",
+            Scheme::Fusion(_) => "Static-Fusion",
+        }
+    }
+}
+
+/// Runs one *wave* (an independent task set) under a scheme.
+pub fn run_wave(scheme: Scheme, tasks: &[TaskDesc]) -> RunSummary {
+    match scheme {
+        Scheme::Sequential => run_sequential(&CpuConfig::default(), tasks),
+        Scheme::PThreads => run_pthreads(&CpuConfig::default(), tasks),
+        Scheme::HyperQ => run_hyperq(&HyperQConfig::default(), tasks),
+        Scheme::Gemtc => {
+            let mut cfg = GemtcConfig::default();
+            cfg.worker_threads = tasks.iter().map(|t| t.threads_per_tb).max().unwrap_or(128);
+            run_gemtc(&cfg, tasks)
+        }
+        Scheme::Pagoda => run_pagoda(PagodaConfig::default(), tasks),
+        Scheme::PagodaBatched(b) => run_pagoda_batched(PagodaConfig::default(), tasks, b),
+        Scheme::Fusion(w) => run_fusion(&FusionConfig::default(), tasks, w),
+    }
+}
+
+/// Runs dependency waves sequentially (the SLUD pattern): Pagoda keeps
+/// one runtime alive and `waitAll`s between waves; the other schemes run
+/// each wave independently and the summaries are concatenated in time.
+pub fn run_waves(scheme: Scheme, waves: &[Vec<TaskDesc>]) -> RunSummary {
+    assert!(!waves.is_empty(), "no waves");
+    if waves.len() == 1 {
+        return run_wave(scheme, &waves[0]);
+    }
+    if matches!(scheme, Scheme::Pagoda) {
+        let mut rt = PagodaRuntime::new(PagodaConfig::default());
+        for w in waves {
+            for t in w {
+                rt.task_spawn(t.clone()).expect("invalid SLUD task");
+            }
+            rt.wait_all();
+        }
+        return rt.report().into();
+    }
+    let parts: Vec<RunSummary> = waves.iter().map(|w| run_wave(scheme, w)).collect();
+    concat_summaries(&parts)
+}
+
+/// Concatenates sequential-phase summaries: makespans add, task counts
+/// add, latencies average weighted by task count, occupancy averages
+/// weighted by makespan.
+pub fn concat_summaries(parts: &[RunSummary]) -> RunSummary {
+    assert!(!parts.is_empty());
+    let makespan_ps: u64 = parts.iter().map(|p| p.makespan.as_ps()).sum();
+    let compute_ps: u64 = parts.iter().map(|p| p.compute_done.as_ps()).sum();
+    let tasks: u64 = parts.iter().map(|p| p.tasks).sum();
+    let lat: u64 = parts
+        .iter()
+        .map(|p| p.mean_task_latency.as_ps() * p.tasks)
+        .sum::<u64>()
+        / tasks.max(1);
+    let occ: f64 = parts
+        .iter()
+        .map(|p| p.avg_running_occupancy * p.makespan.as_ps() as f64)
+        .sum::<f64>()
+        / makespan_ps.max(1) as f64;
+    RunSummary {
+        makespan: Dur::from_ps(makespan_ps),
+        compute_done: SimTime::from_ps(compute_ps),
+        tasks,
+        mean_task_latency: Dur::from_ps(lat),
+        avg_running_occupancy: occ,
+        h2d_busy: Dur::from_ps(parts.iter().map(|p| p.h2d_busy.as_ps()).sum()),
+        d2h_busy: Dur::from_ps(parts.iter().map(|p| p.d2h_busy.as_ps()).sum()),
+        gpu_busy: Dur::from_ps(parts.iter().map(|p| p.gpu_busy.as_ps()).sum()),
+    }
+}
+
+/// Task waves for a benchmark: SLUD yields its dependency waves; every
+/// other benchmark is one independent wave.
+pub fn bench_waves(
+    bench: workloads::Bench,
+    n: usize,
+    opts: &workloads::GenOpts,
+) -> Vec<Vec<TaskDesc>> {
+    if bench == workloads::Bench::Slud {
+        let nb = workloads::slud::grid_for(n, opts.seed);
+        workloads::slud::waves_as_tasks(nb, workloads::slud::DENSITY, opts)
+    } else {
+        vec![bench.tasks(n, opts)]
+    }
+}
+
+/// Reshapes a single-threadblock task to `total_threads` threads split
+/// into `threads_per_tb`-wide threadblocks, spreading the same total work
+/// uniformly and preserving the barrier structure, CPI, and I/O. This is
+/// how Fig. 8 sweeps a task's thread count from 256 to 65536 while
+/// holding its input size (and therefore its work) fixed.
+pub fn reshape_task(base: &TaskDesc, total_threads: u32, threads_per_tb: u32) -> TaskDesc {
+    assert_eq!(base.num_tbs, 1, "reshape expects a single-TB base task");
+    assert_eq!(total_threads % threads_per_tb, 0, "uneven grid");
+    let w0 = &base.blocks[0].warps()[0];
+    let total_ops: u64 = base.total_instrs();
+    let ops_per_thread = total_ops.div_ceil(u64::from(total_threads));
+    let total: f64 = w0.total_instrs().max(1) as f64;
+    let fracs: Vec<f64> = w0
+        .segments
+        .iter()
+        .filter_map(|s| match s {
+            gpu_sim::Segment::Compute(c) => Some(*c as f64 / total),
+            gpu_sim::Segment::Barrier => None,
+        })
+        .collect();
+    let fsum: f64 = fracs.iter().sum();
+    let fracs: Vec<f64> = fracs.iter().map(|f| f / fsum).collect();
+    let warps = threads_per_tb.div_ceil(32);
+    let block = workloads::gen::build_block(
+        &vec![ops_per_thread; threads_per_tb as usize],
+        w0.cpi,
+        &fracs,
+    );
+    let _ = warps;
+    let num_tbs = total_threads / threads_per_tb;
+    TaskDesc {
+        threads_per_tb,
+        num_tbs,
+        smem_per_tb: base.smem_per_tb,
+        sync: base.sync,
+        blocks: vec![block; num_tbs as usize],
+        input_bytes: base.input_bytes,
+        output_bytes: base.output_bytes,
+        cpu_ops: base.cpu_ops,
+    }
+}
+
+/// One printed/serialized experiment data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct DataPoint {
+    /// Experiment id, e.g. `"fig5"`.
+    pub experiment: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Sweep parameter (task count, threads, input size, …), if any.
+    pub param: Option<u64>,
+    /// End-to-end time in milliseconds.
+    pub makespan_ms: f64,
+    /// Compute-only time in milliseconds.
+    pub compute_ms: f64,
+    /// Speedup over this row's baseline (experiment-defined).
+    pub speedup: f64,
+    /// Mean task latency in microseconds.
+    pub latency_us: f64,
+    /// Mean running occupancy.
+    pub occupancy: f64,
+}
+
+impl DataPoint {
+    /// Builds a point from a run summary.
+    pub fn new(
+        experiment: &str,
+        bench: &str,
+        scheme: Scheme,
+        param: Option<u64>,
+        s: &RunSummary,
+        baseline: Option<&RunSummary>,
+    ) -> Self {
+        DataPoint {
+            experiment: experiment.to_string(),
+            bench: bench.to_string(),
+            scheme: scheme.name().to_string(),
+            param,
+            makespan_ms: s.makespan.as_secs_f64() * 1e3,
+            compute_ms: s.compute_done.as_secs_f64() * 1e3,
+            speedup: baseline.map_or(1.0, |b| s.speedup_over(b)),
+            latency_us: s.mean_task_latency.as_us_f64(),
+            occupancy: s.avg_running_occupancy,
+        }
+    }
+}
+
+/// Simple CLI: `--tasks N`, `--json`, `--quick` (divides the paper task
+/// count by 16 for smoke runs).
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Override task count.
+    pub tasks: Option<usize>,
+    /// Emit JSON lines after the table.
+    pub json: bool,
+    /// 1/16-scale smoke run.
+    pub quick: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let mut cli = Cli {
+            tasks: None,
+            json: false,
+            quick: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--tasks" => {
+                    cli.tasks = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--tasks needs a number"),
+                    );
+                }
+                "--json" => cli.json = true,
+                "--quick" => cli.quick = true,
+                other => panic!("unknown argument {other}; supported: --tasks N --json --quick"),
+            }
+        }
+        cli
+    }
+
+    /// Task count to use given the paper's count for this experiment.
+    pub fn scale(&self, paper: usize) -> usize {
+        if let Some(n) = self.tasks {
+            return n;
+        }
+        if self.quick {
+            (paper / 16).max(256)
+        } else {
+            paper
+        }
+    }
+}
+
+/// Prints the collected points as JSON lines if requested.
+pub fn emit_json(cli: &Cli, points: &[DataPoint]) {
+    if cli.json {
+        for p in points {
+            println!("{}", serde_json::to_string(p).expect("serializable"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WarpWork;
+
+    fn tiny() -> Vec<TaskDesc> {
+        (0..64)
+            .map(|_| TaskDesc::uniform(128, WarpWork::compute(100_000, 8.0)))
+            .collect()
+    }
+
+    #[test]
+    fn every_scheme_runs() {
+        let tasks = tiny();
+        for s in [
+            Scheme::Sequential,
+            Scheme::PThreads,
+            Scheme::HyperQ,
+            Scheme::Gemtc,
+            Scheme::Pagoda,
+            Scheme::PagodaBatched(32),
+            Scheme::Fusion(256),
+        ] {
+            let r = run_wave(s, &tasks);
+            assert_eq!(r.tasks, 64, "{}", s.name());
+            assert!(r.makespan > Dur::ZERO, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn waves_concatenate() {
+        let waves = vec![tiny(), tiny(), tiny()];
+        let one = run_wave(Scheme::HyperQ, &waves[0]);
+        let all = run_waves(Scheme::HyperQ, &waves);
+        assert_eq!(all.tasks, 192);
+        assert!(all.makespan.as_ps() >= 3 * one.makespan.as_ps() * 9 / 10);
+    }
+
+    #[test]
+    fn pagoda_waves_share_one_runtime() {
+        let waves = vec![tiny(), tiny()];
+        let r = run_waves(Scheme::Pagoda, &waves);
+        assert_eq!(r.tasks, 128);
+    }
+
+    #[test]
+    fn cli_scaling() {
+        let mut cli = Cli {
+            tasks: None,
+            json: false,
+            quick: false,
+        };
+        assert_eq!(cli.scale(32_768), 32_768);
+        cli.quick = true;
+        assert_eq!(cli.scale(32_768), 2_048);
+        cli.tasks = Some(100);
+        assert_eq!(cli.scale(32_768), 100);
+    }
+}

@@ -1,0 +1,98 @@
+//! Runtime configuration: machine choice plus the measured-constant knobs
+//! of the Pagoda implementation (entry sizes, scheduler-warp cycle costs,
+//! host API costs). Defaults approximate the paper's Titan X testbed; the
+//! benchmark harness never tunes these per experiment — one calibration
+//! serves every figure.
+
+use desim::Dur;
+use gpu_sim::DeviceConfig;
+use pcie::PcieConfig;
+
+/// Full Pagoda runtime configuration.
+#[derive(Debug, Clone)]
+pub struct PagodaConfig {
+    /// The simulated GPU.
+    pub device: DeviceConfig,
+    /// The simulated interconnect.
+    pub pcie: PcieConfig,
+    /// TaskTable rows per column (paper: 32).
+    pub rows_per_column: u32,
+    /// Bytes of one TaskTable entry as copied over PCIe (parameters,
+    /// kernel pointer, shape, flags).
+    pub entry_bytes: u64,
+    /// Host CPU work per `taskSpawn` call (find entry, marshal arguments,
+    /// enqueue the copy).
+    pub spawn_cpu_cost: Dur,
+    /// `wait`/`waitAll` polling timeout before forcing a TaskTable
+    /// copy-back (paper §4.2.2, "these functions therefore use a timeout").
+    pub wait_timeout: Dur,
+    /// Scheduler-warp cycles to scan the column and pick up one action.
+    /// Added to every action below.
+    pub sched_scan_cycles: u64,
+    /// Cycles for the ready-chain update (Algorithm 1, lines 5-13).
+    pub chain_update_cycles: u64,
+    /// Fixed cycles of one `pSched` invocation (Algorithm 2 setup).
+    pub psched_cycles_base: u64,
+    /// Additional `pSched` cycles per warp placed.
+    pub psched_cycles_per_warp: u64,
+    /// Cycles for one shared-memory allocation attempt, including the
+    /// deferred-deallocation drain (Algorithm 1, lines 21-24).
+    pub smem_alloc_cycles: u64,
+    /// Cycles to allocate a named barrier ID.
+    pub barrier_alloc_cycles: u64,
+    /// CPI of scheduler-warp bookkeeping code (shared-memory resident
+    /// tables, some divergence).
+    pub sched_cpi: f64,
+    /// Extra cycles appended to every executor warp for the completion
+    /// epilogue (Algorithm 1, lines 34-43: dealloc marking, doneCtr,
+    /// flag clears).
+    pub exec_epilogue_cycles: u64,
+    /// Bytes of the flag-only host write used by the final-task flush.
+    pub flag_write_bytes: u64,
+}
+
+impl Default for PagodaConfig {
+    fn default() -> Self {
+        PagodaConfig {
+            device: DeviceConfig::titan_x(),
+            pcie: PcieConfig::default(),
+            rows_per_column: 32,
+            entry_bytes: 192,
+            spawn_cpu_cost: Dur::from_ns(1200),
+            wait_timeout: Dur::from_us(20),
+            sched_scan_cycles: 120,
+            chain_update_cycles: 150,
+            psched_cycles_base: 100,
+            psched_cycles_per_warp: 40,
+            smem_alloc_cycles: 250,
+            barrier_alloc_cycles: 60,
+            sched_cpi: 2.0,
+            exec_epilogue_cycles: 80,
+            flag_write_bytes: 8,
+        }
+    }
+}
+
+impl PagodaConfig {
+    /// MTBs the MasterKernel launches: two per SMM (paper §4.1).
+    pub fn num_mtbs(&self) -> u32 {
+        self.device.spec.num_sms * 2
+    }
+
+    /// Total TaskTable entries.
+    pub fn total_entries(&self) -> u32 {
+        self.num_mtbs() * self.rows_per_column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_defaults() {
+        let c = PagodaConfig::default();
+        assert_eq!(c.num_mtbs(), 48);
+        assert_eq!(c.total_entries(), 48 * 32);
+    }
+}

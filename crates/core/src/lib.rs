@@ -1,0 +1,59 @@
+//! **pagoda-core** — the Pagoda runtime (Yeh et al., PPoPP 2017) on a
+//! simulated GPU substrate.
+//!
+//! Pagoda virtualizes GPU compute resources at *warp* granularity so that
+//! thousands of narrow tasks (< 500 threads each) can keep a GPU busy. A
+//! persistent **MasterKernel** occupies 100 % of the device; the first warp
+//! of each of its 48 threadblocks (MTBs) acts as a *scheduler warp* that
+//! places task work onto the other 31 *executor warps*. The host spawns
+//! tasks continuously into a CPU/GPU-mirrored **TaskTable** whose state
+//! machine needs no PCIe atomics and whose copy-backs are lazy and
+//! aggregated.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`table`] — the TaskTable protocol state machine (§4.2)
+//! * [`runtime`] — host API + spawning pipeline + MTB scheduler warps
+//!   (§3, §4.2.1-4.2.2, Algorithms 1-2)
+//! * `mtb` — per-MTB state (§4.1, §4.3)
+//! * [`warptable`] — the WarpTable (Table 2)
+//! * [`smem`] — buddy shared-memory allocator with deferred frees (§5.1)
+//! * [`barrier`] — named-barrier ID recycling (§5.2)
+//! * [`task`] — `taskSpawn` descriptors (Table 1)
+//! * [`config`] — calibration constants
+//!
+//! # Example
+//!
+//! ```
+//! use pagoda_core::{PagodaRuntime, TaskDesc};
+//! use gpu_sim::WarpWork;
+//!
+//! let mut rt = PagodaRuntime::titan_x();
+//! // Spawn 100 narrow tasks of 128 threads each.
+//! let ids: Vec<_> = (0..100)
+//!     .map(|_| {
+//!         rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(50_000, 4.0)))
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! rt.wait_all();
+//! let report = rt.report();
+//! assert_eq!(report.tasks, 100);
+//! assert!(rt.task_latency(ids[0]).is_some());
+//! ```
+
+pub mod barrier;
+pub mod config;
+mod mtb;
+pub mod runtime;
+pub mod smem;
+pub mod table;
+pub mod task;
+pub mod trace;
+pub mod warptable;
+
+pub use config::PagodaConfig;
+pub use runtime::{PagodaRuntime, RunReport};
+pub use table::{EntryIndex, EntryState, Ready, TaskId};
+pub use trace::{write_chrome_trace, TaskTrace};
+pub use task::{TaskDesc, TaskError, MAX_THREADS_PER_TASK_TB};

@@ -1,0 +1,922 @@
+//! The Pagoda runtime: host API, task spawning, and the MasterKernel.
+//!
+//! [`PagodaRuntime`] co-simulates three timelines against one clock:
+//!
+//! * the **host CPU** executing the user's program (spawn loops, `wait`
+//!   polling, TaskTable copy-backs) — modelled by `host_now`, which only
+//!   moves forward as API calls consume CPU time or block;
+//! * the **PCIe bus** carrying task inputs, TaskTable entries, flush
+//!   writes, copy-backs, and task outputs — the [`pcie::PcieBus`] model;
+//! * the **GPU** running the MasterKernel — scheduler-warp actions and
+//!   executor-warp task work are *real work assigned to real warps* of a
+//!   persistent kernel in the [`gpu_sim::GpuDevice`], so every scheduling
+//!   cycle Pagoda spends contends with task execution for SMM issue slots,
+//!   exactly as on hardware.
+//!
+//! The public API mirrors the paper's Table 1: [`PagodaRuntime::task_spawn`],
+//! [`PagodaRuntime::wait`], [`PagodaRuntime::check`],
+//! [`PagodaRuntime::wait_all`]. The GPU-side API (`getTid`, `syncBlock`,
+//! `getSMPtr`) appears structurally: a task's [`TaskDesc::blocks`] encode
+//! per-warp work and barriers, and shared-memory requests are granted from
+//! the MTB's buddy-managed slice.
+
+use std::collections::HashMap;
+
+use desim::{Dur, SimTime};
+use gpu_arch::TaskShape;
+use gpu_sim::{GpuDevice, GroupId, Notify, Segment, WarpWork};
+use pcie::{Direction, PcieBus, StreamId};
+
+use crate::config::PagodaConfig;
+use crate::mtb::{Action, JobPhase, MtbState, PlacementJob};
+use crate::table::{EntryIndex, EntryState, Ready, TaskId, TaskTableSide};
+use crate::task::{TaskDesc, TaskError};
+use crate::trace::TaskTrace;
+use crate::warptable::Slot;
+
+/// Tag prefix for scheduler-warp action completions.
+const TAG_SCHED: u64 = 1 << 40;
+/// Tag prefix for executor-warp task completions.
+const TAG_EXEC: u64 = 2 << 40;
+const TAG_KIND_MASK: u64 = 3 << 40;
+const TAG_PAYLOAD_MASK: u64 = (1 << 40) - 1;
+
+/// Host-event payloads staged for PCIe visibility instants.
+#[derive(Debug)]
+enum HostEv {
+    /// A spawned entry's H2D copy became visible in device memory.
+    EntryVisible {
+        e: EntryIndex,
+        st: EntryState,
+        task: TaskId,
+    },
+    /// The final-task flush write became visible.
+    FlushWriteVisible { e: EntryIndex },
+}
+
+/// Bookkeeping for one spawned task.
+#[derive(Debug)]
+struct TaskRecord {
+    desc: TaskDesc,
+    entry: EntryIndex,
+    /// Host time of the `task_spawn` call.
+    spawn_time: SimTime,
+    /// Executor-warp completions so far.
+    warps_done: u32,
+    /// Per-threadblock completions.
+    tb_warps_done: Vec<u32>,
+    /// Barrier groups of sync threadblocks.
+    tb_groups: Vec<Option<GroupId>>,
+    /// When the last warp finished on the GPU.
+    gpu_done: Option<SimTime>,
+    /// When the output D2H copy completes (== `gpu_done` if no output).
+    output_done: Option<SimTime>,
+    /// When the first warp started executing (scheduling-latency metric).
+    first_start: Option<SimTime>,
+    /// When the entry's H2D copy became visible on the device.
+    entry_visible: Option<SimTime>,
+    /// When the entry was marked (Scheduling, sched) by chain or flush.
+    schedulable: Option<SimTime>,
+    /// The CPU has observed completion via a copy-back.
+    observed_done: bool,
+}
+
+/// End-of-run measurements, the quantities the paper's figures plot.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Host time when the workload finished (copies included) — the
+    /// "execution time" of Figs. 5, 6, 9, 11.
+    pub makespan: Dur,
+    /// Instant the last task finished computing on the GPU — the
+    /// "compute time" of Figs. 7, 8 and Table 5.
+    pub compute_done: SimTime,
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Mean spawn→GPU-completion latency — Fig. 10's metric.
+    pub mean_task_latency: Dur,
+    /// Mean fraction of device warp slots doing useful work.
+    pub avg_running_occupancy: f64,
+    /// Host→device channel busy time.
+    pub h2d_busy: Dur,
+    /// Device→host channel busy time.
+    pub d2h_busy: Dur,
+    /// Average per-SMM busy time (≥1 warp running).
+    pub gpu_busy: Dur,
+}
+
+/// The runtime. Create one per workload run; drive it with the Table 1
+/// API; read a [`RunReport`] at the end.
+#[derive(Debug)]
+pub struct PagodaRuntime {
+    cfg: PagodaConfig,
+    device: GpuDevice,
+    bus: PcieBus,
+    h2d: StreamId,
+    d2h: StreamId,
+    gpu_table: TaskTableSide,
+    cpu_table: TaskTableSide,
+    mtbs: Vec<MtbState>,
+    tasks: Vec<TaskRecord>,
+    /// GPU-side occupant of each entry (col-major, `col*rows + row`).
+    occupant: Vec<Option<TaskId>>,
+    /// CPU-side belief of each entry's occupant.
+    cpu_occupant: Vec<Option<TaskId>>,
+    /// Entry's spawn H2D copy still in flight.
+    spawn_inflight: Vec<bool>,
+    /// Successor entry of each task (for chain-update wakeups).
+    succ_entry: HashMap<TaskId, EntryIndex>,
+    last_spawned: Option<TaskId>,
+    /// The current spawn chain has an unflushed tail.
+    chain_open: bool,
+    host_now: SimTime,
+    spawn_cursor: u32,
+    staged: HashMap<u64, HostEv>,
+    next_stage_tag: u64,
+}
+
+impl PagodaRuntime {
+    /// Boots the runtime: launches the MasterKernel (2 MTBs per SMM at
+    /// 100 % occupancy) and builds the mirrored TaskTable.
+    ///
+    /// # Panics
+    /// Panics if the MasterKernel shape cannot occupy the configured
+    /// device (it fits every supported spec).
+    pub fn new(cfg: PagodaConfig) -> Self {
+        let mut device = GpuDevice::new(cfg.device.clone());
+        // Each SMM hosts two MTBs; each MTB statically reserves the
+        // largest power-of-two slice of its half of the SMM's shared
+        // memory, capped at the paper's 32 KB (Titan X: exactly 32 KB;
+        // K40: 16 KB of its 24 KB half, the rest holds the scheduling
+        // structures).
+        let per_mtb = cfg.device.spec.smem_per_sm / 2;
+        let smem_slice = if per_mtb >= 32 * 1024 {
+            32 * 1024
+        } else {
+            1u32 << (31 - per_mtb.leading_zeros())
+        };
+        let mk_shape = TaskShape {
+            threads_per_tb: 1024,
+            num_tbs: cfg.num_mtbs(),
+            regs_per_thread: 32, // the paper's -maxrregcount cap
+            smem_per_tb: smem_slice,
+        };
+        let tbs = device
+            .launch_persistent(mk_shape)
+            .expect("MasterKernel must fit the device");
+        let mtbs: Vec<MtbState> = tbs
+            .into_iter()
+            .map(|tb| {
+                let sched = tb.warps[0];
+                let execs = tb.warps[1..].to_vec();
+                MtbState::new(tb.sm, sched, execs, smem_slice)
+            })
+            .collect();
+        let mut bus = PcieBus::new(cfg.pcie.clone());
+        let h2d = bus.create_stream();
+        let d2h = bus.create_stream();
+        let cols = cfg.num_mtbs();
+        let rows = cfg.rows_per_column;
+        let entries = (cols * rows) as usize;
+        PagodaRuntime {
+            device,
+            bus,
+            h2d,
+            d2h,
+            gpu_table: TaskTableSide::new(cols, rows),
+            cpu_table: TaskTableSide::new(cols, rows),
+            mtbs,
+            tasks: Vec::new(),
+            occupant: vec![None; entries],
+            cpu_occupant: vec![None; entries],
+            spawn_inflight: vec![false; entries],
+            succ_entry: HashMap::new(),
+            last_spawned: None,
+            chain_open: false,
+            host_now: SimTime::ZERO,
+            spawn_cursor: 0,
+            staged: HashMap::new(),
+            next_stage_tag: 0,
+            cfg,
+        }
+    }
+
+    /// A runtime on the paper's Titan X with default calibration.
+    pub fn titan_x() -> Self {
+        Self::new(PagodaConfig::default())
+    }
+
+    /// Current host-thread time.
+    pub fn host_now(&self) -> SimTime {
+        self.host_now
+    }
+
+    // ==================================================================
+    // Table 1 API — CPU side
+    // ==================================================================
+
+    /// `taskSpawn`: non-blocking spawn. Copies the task's input and its
+    /// TaskTable entry to the GPU asynchronously and returns a task ID.
+    /// Blocks only when every TaskTable entry is occupied (then performs
+    /// the lazy aggregate copy-back of §4.2.2 to discover freed entries).
+    pub fn task_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TaskError> {
+        desc.validate()?;
+        if desc.smem_per_tb > self.mtbs[0].buddy.pool_bytes() {
+            // Smaller machines (K40) manage a smaller per-MTB slice than
+            // the generic 32 KB upper bound `validate` enforces.
+            return Err(TaskError::SmemTooLarge {
+                requested: desc.smem_per_tb,
+            });
+        }
+        self.host_advance(self.cfg.spawn_cpu_cost);
+
+        let entry = self.acquire_entry();
+        let id = TaskId(TaskId::FIRST.0 + self.tasks.len() as u64);
+
+        let ready = match (self.chain_open, self.last_spawned) {
+            (true, Some(prev)) => {
+                self.succ_entry.insert(prev, entry);
+                Ready::Ref(prev)
+            }
+            _ => Ready::Copied,
+        };
+        self.chain_open = true;
+        self.cpu_table.cpu_claim(entry, ready);
+        let ei = self.eidx(entry);
+        self.cpu_occupant[ei] = Some(id);
+        self.spawn_inflight[ei] = true;
+
+        // One transaction per spawn: the TaskTable entry embeds the task
+        // inputs (paper §4.2, entry field 6), so parameters and data travel
+        // together — "in the steady-state, we achieve 1 cudamemcopy per
+        // task table entry" (§4.2.1).
+        let tr = self.bus.transfer(
+            self.host_now,
+            self.h2d,
+            Direction::HostToDevice,
+            self.cfg.entry_bytes + desc.input_bytes,
+        );
+        self.stage(
+            tr.complete,
+            HostEv::EntryVisible {
+                e: entry,
+                st: EntryState { ready, sched: false },
+                task: id,
+            },
+        );
+
+        let num_tbs = desc.num_tbs as usize;
+        self.tasks.push(TaskRecord {
+            desc,
+            entry,
+            spawn_time: self.host_now,
+            warps_done: 0,
+            tb_warps_done: vec![0; num_tbs],
+            tb_groups: vec![None; num_tbs],
+            gpu_done: None,
+            output_done: None,
+            first_start: None,
+            entry_visible: None,
+            schedulable: None,
+            observed_done: false,
+        });
+        self.last_spawned = Some(id);
+        Ok(id)
+    }
+
+    /// `check`: non-blocking completion query (costs one TaskTable-entry
+    /// copy-back, since completion is only observable from device memory).
+    pub fn check(&mut self, t: TaskId) -> bool {
+        if self.rec(t).observed_done {
+            return true;
+        }
+        self.flush_last();
+        let e = self.rec(t).entry;
+        self.copyback_entry(e);
+        self.rec(t).observed_done
+    }
+
+    /// `wait`: blocks (simulated) until task `t` completes and its output
+    /// copy has landed in host memory.
+    pub fn wait(&mut self, t: TaskId) {
+        self.flush_last();
+        let mut iterations = 0u64;
+        while !self.rec(t).observed_done {
+            self.host_advance(self.cfg.wait_timeout);
+            let e = self.rec(t).entry;
+            self.copyback_entry(e);
+            self.flush_last();
+            iterations += 1;
+            assert!(iterations < 100_000_000, "wait({t:?}) livelocked");
+        }
+        let out = self.rec(t).output_done.expect("observed but no output time");
+        if out > self.host_now {
+            self.host_advance_to(out);
+        }
+    }
+
+    /// `waitAll`: blocks until every spawned task completes, using bulk
+    /// copy-backs.
+    pub fn wait_all(&mut self) {
+        self.flush_last();
+        let mut iterations = 0u64;
+        while !self.tasks.iter().all(|r| r.observed_done) {
+            self.host_advance(self.cfg.wait_timeout);
+            self.copyback_all();
+            self.flush_last();
+            iterations += 1;
+            assert!(iterations < 100_000_000, "wait_all livelocked");
+        }
+        if let Some(last_out) = self.tasks.iter().filter_map(|r| r.output_done).max() {
+            if last_out > self.host_now {
+                self.host_advance_to(last_out);
+            }
+        }
+    }
+
+    /// Measurements for the run so far. Call after [`PagodaRuntime::wait_all`].
+    pub fn report(&mut self) -> RunReport {
+        let n = self.tasks.len().max(1) as u64;
+        let lat_sum: u64 = self
+            .tasks
+            .iter()
+            .filter_map(|r| r.gpu_done.map(|d| (d - r.spawn_time).as_ps()))
+            .sum();
+        let compute_done = self
+            .tasks
+            .iter()
+            .filter_map(|r| r.gpu_done)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunReport {
+            makespan: self.host_now - SimTime::ZERO,
+            compute_done,
+            tasks: self.tasks.iter().filter(|r| r.gpu_done.is_some()).count() as u64,
+            mean_task_latency: Dur::from_ps(lat_sum / n),
+            avg_running_occupancy: self.device.avg_running_occupancy(),
+            h2d_busy: self.bus.stats(Direction::HostToDevice).busy,
+            d2h_busy: self.bus.stats(Direction::DeviceToHost).busy,
+            gpu_busy: Dur::from_ps(
+                self.device.stats().busy_ps / u64::from(self.device.spec().num_sms),
+            ),
+        }
+    }
+
+    /// Spawn→GPU-completion latency of one task, if it has completed.
+    pub fn task_latency(&self, t: TaskId) -> Option<Dur> {
+        let r = &self.tasks[(t.0 - TaskId::FIRST.0) as usize];
+        r.gpu_done.map(|d| d - r.spawn_time)
+    }
+
+    /// The recorded timeline of one task (see [`crate::trace`]).
+    pub fn trace(&self, t: TaskId) -> TaskTrace {
+        let r = &self.tasks[(t.0 - TaskId::FIRST.0) as usize];
+        TaskTrace {
+            task: t,
+            column: r.entry.col,
+            spawned: r.spawn_time,
+            entry_visible: r.entry_visible,
+            schedulable: r.schedulable,
+            first_exec: r.first_start,
+            gpu_done: r.gpu_done,
+            output_done: r.output_done,
+        }
+    }
+
+    /// Timelines of every spawned task, in spawn order.
+    pub fn traces(&self) -> Vec<TaskTrace> {
+        (0..self.tasks.len() as u64)
+            .map(|i| self.trace(TaskId(TaskId::FIRST.0 + i)))
+            .collect()
+    }
+
+    /// Number of tasks spawned so far.
+    pub fn spawned(&self) -> u64 {
+        self.tasks.len() as u64
+    }
+
+    // ==================================================================
+    // Host internals
+    // ==================================================================
+
+    fn rec(&mut self, t: TaskId) -> &mut TaskRecord {
+        &mut self.tasks[(t.0 - TaskId::FIRST.0) as usize]
+    }
+
+    fn eidx(&self, e: EntryIndex) -> usize {
+        (e.col * self.cfg.rows_per_column + e.row) as usize
+    }
+
+    /// Advances the host clock by `d`, co-simulating the device.
+    fn host_advance(&mut self, d: Dur) {
+        self.host_advance_to(self.host_now.max(self.device.now()) + d);
+    }
+
+    fn host_advance_to(&mut self, t: SimTime) {
+        self.host_now = self.host_now.max(t);
+        self.pump();
+    }
+
+    /// Processes every device event up to `host_now`.
+    fn pump(&mut self) {
+        while let Some((time, batch)) = self.device.step_bounded(self.host_now) {
+            for n in batch {
+                self.on_notify(time, n);
+            }
+        }
+    }
+
+    fn stage(&mut self, at: SimTime, ev: HostEv) {
+        let tag = self.next_stage_tag;
+        self.next_stage_tag += 1;
+        self.staged.insert(tag, ev);
+        self.device.schedule_host(at, tag);
+    }
+
+    /// Finds a free CPU-side entry, forcing aggregate copy-backs (and
+    /// eventually timeouts) while the table is full.
+    ///
+    /// Consecutive spawns round-robin across *columns* so the load (and
+    /// the ready chain's links) spreads over all 48 MTB schedulers; piling
+    /// a burst into one column would serialize the whole pipeline behind
+    /// that single MTB's executor capacity.
+    fn acquire_entry(&mut self) -> EntryIndex {
+        let cols = self.gpu_table.cols();
+        let rows = self.cfg.rows_per_column;
+        let mut iterations = 0u64;
+        loop {
+            for k in 0..cols {
+                let col = (self.spawn_cursor + k) % cols;
+                for row in 0..rows {
+                    let e = EntryIndex { col, row };
+                    if self.cpu_table.get(e).ready == Ready::Free {
+                        self.spawn_cursor = (col + 1) % cols;
+                        return e;
+                    }
+                }
+            }
+            // Table full: the spawner must learn what the GPU freed
+            // (§4.2.2 lazy aggregate update). A full table also means the
+            // chain tail may be blocking everything — flush it.
+            self.flush_last();
+            self.copyback_all();
+            if self.cpu_table.free_entries() == 0 {
+                self.host_advance(self.cfg.wait_timeout);
+            }
+            iterations += 1;
+            assert!(iterations < 100_000_000, "task table livelocked");
+        }
+    }
+
+    /// Bulk D2H copy-back of the whole TaskTable; merges freed entries
+    /// into the CPU view.
+    fn copyback_all(&mut self) {
+        let bytes = u64::from(self.cfg.total_entries()) * self.cfg.entry_bytes;
+        let tr = self
+            .bus
+            .transfer(self.host_now, self.d2h, Direction::DeviceToHost, bytes);
+        self.host_advance_to(tr.complete);
+        for col in 0..self.gpu_table.cols() {
+            for row in 0..self.gpu_table.rows() {
+                self.merge_entry(EntryIndex { col, row });
+            }
+        }
+    }
+
+    /// Copy-back of a single entry (the `wait` timeout path).
+    fn copyback_entry(&mut self, e: EntryIndex) {
+        let tr = self.bus.transfer(
+            self.host_now,
+            self.d2h,
+            Direction::DeviceToHost,
+            self.cfg.entry_bytes,
+        );
+        self.host_advance_to(tr.complete);
+        self.merge_entry(e);
+    }
+
+    /// Applies one snapshot entry to the CPU view: the CPU only learns
+    /// about *freed* entries (every other state is GPU-internal). The
+    /// in-flight guard prevents a snapshot older than our own H2D copy
+    /// from releasing an entry we just claimed.
+    fn merge_entry(&mut self, e: EntryIndex) {
+        let ei = self.eidx(e);
+        if self.cpu_table.get(e).ready == Ready::Free || self.spawn_inflight[ei] {
+            return;
+        }
+        if self.gpu_table.get(e).ready == Ready::Free {
+            self.cpu_table.set(e, EntryState::default());
+            if let Some(t) = self.cpu_occupant[ei].take() {
+                self.rec(t).observed_done = true;
+            }
+        }
+    }
+
+    /// The final-task flush of §4.2.2: if no further task will arrive to
+    /// advance the pipeline, read the last entry back; if it sits at
+    /// `(Copied, 0)`, write `(Scheduling, sched=1)` to the GPU.
+    fn flush_last(&mut self) {
+        if !self.chain_open {
+            return;
+        }
+        let Some(lt) = self.last_spawned else {
+            return;
+        };
+        let e = self.tasks[(lt.0 - TaskId::FIRST.0) as usize].entry;
+        let tr = self.bus.transfer(
+            self.host_now,
+            self.d2h,
+            Direction::DeviceToHost,
+            self.cfg.entry_bytes,
+        );
+        self.host_advance_to(tr.complete);
+        if self.spawn_inflight[self.eidx(e)] {
+            // The entry's own H2D copy has not landed: the D2H read-back
+            // returned stale contents. Retry on the caller's next timeout.
+            return;
+        }
+        match self.gpu_table.get(e).ready {
+            Ready::Copied if self.occupant[self.eidx(e)] == Some(lt) => {
+                let trw = self.bus.transfer(
+                    self.host_now,
+                    self.h2d,
+                    Direction::HostToDevice,
+                    self.cfg.flag_write_bytes,
+                );
+                self.stage(trw.complete, HostEv::FlushWriteVisible { e });
+                self.chain_open = false;
+            }
+            Ready::Ref(_) => {
+                // Chain processing still pending on the GPU; the caller's
+                // timeout loop will retry.
+            }
+            _ => {
+                // Already advanced past Copied (an earlier flush write
+                // landed, or the task ran): nothing to do.
+                self.chain_open = false;
+            }
+        }
+    }
+
+    // ==================================================================
+    // Event dispatch
+    // ==================================================================
+
+    fn on_notify(&mut self, time: SimTime, n: Notify) {
+        match n {
+            Notify::Host(tag) => {
+                let ev = self.staged.remove(&tag).expect("unknown staged event");
+                match ev {
+                    HostEv::EntryVisible { e, st, task } => self.entry_visible(e, st, task),
+                    HostEv::FlushWriteVisible { e } => self.flush_visible(e),
+                }
+            }
+            Notify::WarpDone { tag, .. } => match tag & TAG_KIND_MASK {
+                TAG_SCHED => {
+                    let mi = (tag & TAG_PAYLOAD_MASK) as usize;
+                    self.sched_action_done(time, mi);
+                }
+                TAG_EXEC => {
+                    let p = tag & TAG_PAYLOAD_MASK;
+                    let mi = (p / 64) as usize;
+                    let slot = (p % 64) as usize;
+                    self.executor_done(time, mi, slot);
+                }
+                _ => unreachable!("unknown warp tag {tag:#x}"),
+            },
+            Notify::KernelDone { .. } => {
+                unreachable!("Pagoda launches no native kernels")
+            }
+        }
+    }
+
+    fn entry_visible(&mut self, e: EntryIndex, st: EntryState, task: TaskId) {
+        assert_eq!(
+            self.gpu_table.get(e).ready,
+            Ready::Free,
+            "entry copy landed on a non-free GPU entry"
+        );
+        self.gpu_table.set(e, st);
+        let ei = self.eidx(e);
+        self.occupant[ei] = Some(task);
+        self.spawn_inflight[ei] = false;
+        let now = self.device.now();
+        self.rec(task).entry_visible = Some(now);
+        self.poke(e.col as usize);
+    }
+
+    fn flush_visible(&mut self, e: EntryIndex) {
+        // Argued in flush_last: between the read-back and this write's
+        // visibility, only this flush can touch a Copied tail entry.
+        assert_eq!(
+            self.gpu_table.get(e).ready,
+            Ready::Copied,
+            "flush write raced the scheduler"
+        );
+        self.gpu_table.chain_mark_schedulable(e);
+        let now = self.device.now();
+        if let Some(t) = self.occupant[self.eidx(e)] {
+            self.rec(t).schedulable = Some(now);
+        }
+        self.poke(e.col as usize);
+    }
+
+    // ==================================================================
+    // MTB scheduler-warp state machine
+    // ==================================================================
+
+    /// Wakes MTB `mi`'s scheduler warp if it is idle.
+    fn poke(&mut self, mi: usize) {
+        if !self.mtbs[mi].busy {
+            self.begin_action(mi);
+        }
+    }
+
+    /// Picks the scheduler's next action and charges its cycles on the
+    /// scheduler warp. Idle (no action possible) costs nothing — the real
+    /// polling loop spins on shared-memory flags at negligible bandwidth.
+    fn begin_action(&mut self, mi: usize) {
+        debug_assert!(!self.mtbs[mi].busy);
+        let Some((action, cycles)) = self.decide(mi) else {
+            return;
+        };
+        let m = &mut self.mtbs[mi];
+        m.busy = true;
+        m.action = Some(action);
+        let total_cycles = cycles + self.cfg.sched_scan_cycles;
+        let work = WarpWork::compute(total_cycles * 32, self.cfg.sched_cpi);
+        self.device
+            .assign_warp(m.sched_warp, work, TAG_SCHED | mi as u64);
+    }
+
+    fn sched_action_done(&mut self, time: SimTime, mi: usize) {
+        let m = &mut self.mtbs[mi];
+        m.busy = false;
+        let action = m.action.take().expect("SCHED_DONE without action");
+        self.apply_action(time, mi, action);
+        // `apply_action` may already have re-armed this scheduler through a
+        // self-poke (e.g. a chain update whose predecessor shares the MTB).
+        self.poke(mi);
+    }
+
+    fn decide(&mut self, mi: usize) -> Option<(Action, u64)> {
+        let c = &self.cfg;
+        if let Some(job) = &self.mtbs[mi].job {
+            let m = &self.mtbs[mi];
+            return match job.phase {
+                JobPhase::NeedBarrier => {
+                    (m.barriers.available() > 0).then_some((Action::JobStep, c.barrier_alloc_cycles))
+                }
+                JobPhase::NeedSmem => {
+                    let size = self.tasks[(job.task.0 - TaskId::FIRST.0) as usize]
+                        .desc
+                        .smem_per_tb;
+                    (m.buddy.has_pending_deallocs() || m.buddy.can_alloc(size))
+                        .then_some((Action::JobStep, c.smem_alloc_cycles))
+                }
+                JobPhase::Placing => {
+                    let free = m.warp_table.free_count() as u64;
+                    let d = &self.tasks[(job.task.0 - TaskId::FIRST.0) as usize].desc;
+                    let unit = if job.per_tb {
+                        u64::from(d.warps_per_tb())
+                    } else {
+                        u64::from(d.total_warps())
+                    };
+                    let remaining = unit - u64::from(job.placed_in_unit);
+                    (free > 0).then(|| {
+                        (
+                            Action::JobStep,
+                            c.psched_cycles_base + c.psched_cycles_per_warp * free.min(remaining),
+                        )
+                    })
+                }
+            };
+        }
+        // Column scan (Algorithm 1's row loop): first actionable row wins.
+        let col = mi as u32;
+        for row in 0..self.gpu_table.rows() {
+            let e = EntryIndex { col, row };
+            let st = self.gpu_table.get(e);
+            if st.sched {
+                return Some((Action::StartEntry { entry: e }, 0));
+            }
+            if let Ready::Ref(prev) = st.ready {
+                let pe = self.tasks[(prev.0 - TaskId::FIRST.0) as usize].entry;
+                if self.gpu_table.get(pe).ready == Ready::Copied {
+                    return Some((Action::ChainUpdate { cur: e }, c.chain_update_cycles));
+                }
+            }
+        }
+        None
+    }
+
+    fn apply_action(&mut self, time: SimTime, mi: usize, action: Action) {
+        match action {
+            Action::ChainUpdate { cur } => self.apply_chain_update(cur),
+            Action::StartEntry { entry } => self.apply_start_entry(entry),
+            Action::JobStep => self.apply_job_step(time, mi),
+        }
+    }
+
+    fn apply_chain_update(&mut self, cur: EntryIndex) {
+        let Ready::Ref(prev) = self.gpu_table.get(cur).ready else {
+            return; // settled already (stale decision)
+        };
+        let pe = self.tasks[(prev.0 - TaskId::FIRST.0) as usize].entry;
+        if self.gpu_table.get(pe).ready != Ready::Copied {
+            return; // predecessor not settled yet; retried on its wakeup
+        }
+        self.gpu_table.chain_mark_schedulable(pe);
+        self.gpu_table.chain_settle(cur);
+        let now = self.device.now();
+        self.rec(prev).schedulable = Some(now);
+        self.poke(pe.col as usize);
+        // `cur` just became Copied: its own successor (if it has arrived)
+        // can now chain-update in its column.
+        let cur_task = self.occupant[self.eidx(cur)].expect("settling unoccupied entry");
+        if let Some(se) = self.succ_entry.get(&cur_task).copied() {
+            self.poke(se.col as usize);
+        }
+    }
+
+    fn apply_start_entry(&mut self, entry: EntryIndex) {
+        let st = self.gpu_table.get(entry);
+        assert!(st.sched, "StartEntry on entry without sched flag");
+        self.gpu_table.clear_sched(entry);
+        let task = self.occupant[self.eidx(entry)].expect("sched flag on unoccupied entry");
+        let desc = &self.tasks[(task.0 - TaskId::FIRST.0) as usize].desc;
+        let per_tb = desc.per_tb_scheduling();
+        let phase = initial_phase(desc.sync, desc.smem_per_tb);
+        let mi = entry.col as usize;
+        let m = &mut self.mtbs[mi];
+        assert!(m.job.is_none(), "Algorithm 1 schedules entries sequentially");
+        m.job = Some(PlacementJob {
+            entry,
+            task,
+            per_tb,
+            next_tb: 0,
+            phase,
+            cur_bar: None,
+            cur_smem: None,
+            placed_in_unit: 0,
+            reserved: Vec::new(),
+        });
+    }
+
+    fn apply_job_step(&mut self, time: SimTime, mi: usize) {
+        let mut job = self.mtbs[mi].job.take().expect("JobStep without job");
+        let tix = (job.task.0 - TaskId::FIRST.0) as usize;
+        let (sync, smem, warps_per_tb, num_tbs) = {
+            let d = &self.tasks[tix].desc;
+            (d.sync, d.smem_per_tb, d.warps_per_tb(), d.num_tbs)
+        };
+        match job.phase {
+            JobPhase::NeedBarrier => {
+                if let Some(b) = self.mtbs[mi].barriers.alloc() {
+                    job.cur_bar = Some(b);
+                    job.phase = if smem > 0 { JobPhase::NeedSmem } else { JobPhase::Placing };
+                }
+            }
+            JobPhase::NeedSmem => {
+                // Algorithm 1 line 22: drain deferred frees, then try.
+                self.mtbs[mi].buddy.dealloc_marked();
+                if let Ok(n) = self.mtbs[mi].buddy.alloc(smem) {
+                    job.cur_smem = Some(n);
+                    job.phase = JobPhase::Placing;
+                }
+            }
+            JobPhase::Placing => {
+                let unit_total = if job.per_tb {
+                    warps_per_tb
+                } else {
+                    warps_per_tb * num_tbs
+                };
+                while job.placed_in_unit < unit_total {
+                    let Some(slot) = self.mtbs[mi].warp_table.find_free() else {
+                        break;
+                    };
+                    let (tb, w) = if job.per_tb {
+                        (job.next_tb, job.placed_in_unit)
+                    } else {
+                        (job.placed_in_unit / warps_per_tb, job.placed_in_unit % warps_per_tb)
+                    };
+                    let sdata = Slot {
+                        warp_id: tb * warps_per_tb + w,
+                        e_num: job.entry,
+                        tb_index: tb,
+                        sm_index: job.cur_smem,
+                        bar_id: job.cur_bar,
+                    };
+                    self.mtbs[mi].warp_table.dispatch(slot, sdata);
+                    if sync {
+                        // Dispatch together once the barrier group is whole.
+                        job.reserved.push(slot);
+                    } else {
+                        self.assign_exec(time, mi, slot, job.task, tb, w);
+                    }
+                    job.placed_in_unit += 1;
+                }
+                if job.placed_in_unit == unit_total {
+                    if sync {
+                        let tb = job.next_tb;
+                        let handles: Vec<_> = job
+                            .reserved
+                            .iter()
+                            .map(|&s| self.mtbs[mi].exec_warps[s])
+                            .collect();
+                        let g = self.device.create_group(&handles);
+                        self.tasks[tix].tb_groups[tb as usize] = Some(g);
+                        let reserved = std::mem::take(&mut job.reserved);
+                        for (w, slot) in reserved.into_iter().enumerate() {
+                            self.assign_exec(time, mi, slot, job.task, tb, w as u32);
+                        }
+                    }
+                    if job.per_tb {
+                        job.next_tb += 1;
+                        if job.next_tb == num_tbs {
+                            self.mtbs[mi].job = None;
+                            return;
+                        }
+                        job.placed_in_unit = 0;
+                        job.cur_bar = None;
+                        job.cur_smem = None;
+                        job.phase = initial_phase(sync, smem);
+                    } else {
+                        self.mtbs[mi].job = None;
+                        return;
+                    }
+                }
+            }
+        }
+        self.mtbs[mi].job = Some(job);
+    }
+
+    /// Dispatches one executor warp: builds its work (task kernel segments
+    /// plus the completion epilogue of Algorithm 1 lines 34-43) and assigns
+    /// it in the device.
+    fn assign_exec(&mut self, time: SimTime, mi: usize, slot: usize, task: TaskId, tb: u32, w: u32) {
+        let tix = (task.0 - TaskId::FIRST.0) as usize;
+        let mut work = self.tasks[tix].desc.blocks[tb as usize].warps()[w as usize].clone();
+        work.segments
+            .push(Segment::Compute(self.cfg.exec_epilogue_cycles * 32));
+        self.tasks[tix].first_start.get_or_insert(time);
+        let warp = self.mtbs[mi].exec_warps[slot];
+        self.device
+            .assign_warp(warp, work, TAG_EXEC | (mi as u64 * 64 + slot as u64));
+    }
+
+    fn executor_done(&mut self, time: SimTime, mi: usize, slot: usize) {
+        let s = self.mtbs[mi].warp_table.complete(slot);
+        let ei = self.eidx(s.e_num);
+        let task = self.occupant[ei].expect("executor finished for unoccupied entry");
+        let tix = (task.0 - TaskId::FIRST.0) as usize;
+        let (warps_per_tb, total_warps, out_bytes) = {
+            let d = &self.tasks[tix].desc;
+            (d.warps_per_tb(), d.total_warps(), d.output_bytes)
+        };
+        let r = &mut self.tasks[tix];
+        r.tb_warps_done[s.tb_index as usize] += 1;
+        r.warps_done += 1;
+        let tb_complete = r.tb_warps_done[s.tb_index as usize] == warps_per_tb;
+        let task_complete = r.warps_done == total_warps;
+        if tb_complete {
+            // Last warp of the threadblock (Algorithm 1, lines 35-39).
+            if let Some(n) = s.sm_index {
+                self.mtbs[mi].buddy.mark_for_dealloc(n);
+            }
+            if let Some(b) = s.bar_id {
+                self.mtbs[mi].barriers.release(b);
+            }
+            if let Some(g) = self.tasks[tix].tb_groups[s.tb_index as usize].take() {
+                self.device.release_group(g);
+            }
+        }
+        if task_complete {
+            // Lines 41-42: free the TaskTable entry.
+            self.gpu_table.complete(s.e_num);
+            self.occupant[ei] = None;
+            let r = &mut self.tasks[tix];
+            r.gpu_done = Some(time);
+            if out_bytes > 0 {
+                let tr = self
+                    .bus
+                    .transfer(time, self.d2h, Direction::DeviceToHost, out_bytes);
+                r.output_done = Some(tr.complete);
+            } else {
+                r.output_done = Some(time);
+            }
+        }
+        // A slot freed, shared memory possibly marked, a barrier possibly
+        // recycled: all reasons the scheduler warp may now make progress.
+        self.poke(mi);
+    }
+}
+
+fn initial_phase(sync: bool, smem: u32) -> JobPhase {
+    if sync {
+        JobPhase::NeedBarrier
+    } else if smem > 0 {
+        JobPhase::NeedSmem
+    } else {
+        JobPhase::Placing
+    }
+}

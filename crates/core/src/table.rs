@@ -1,0 +1,315 @@
+//! The TaskTable: Pagoda's CPU/GPU-mirrored spawning structure (paper §4.2).
+//!
+//! The TaskTable is a 48-column × 32-row array of task entries, mirrored in
+//! host and device memory. Column *c* belongs to MTB *c*: only that MTB's
+//! scheduler warp schedules from it. The protocol exploits an ownership
+//! split that makes simultaneous host/device updates safe without PCIe
+//! atomics:
+//!
+//! * the **CPU** only writes entries whose `ready` field is `Free` (0);
+//! * the **GPU** only writes entries whose `ready` field is non-zero.
+//!
+//! Each entry's state is `(ready, sched)` per Fig. 2a:
+//!
+//! | `ready`       | meaning                                             |
+//! |---------------|-----------------------------------------------------|
+//! | `Free` (0)    | entry unused; CPU may claim it                      |
+//! | `Ref(t)` (>1) | entry copied; `t` = previously spawned task whose   |
+//! |               | parameters are now guaranteed complete (pipelining) |
+//! | `Copied` (−1) | chain-processed; parameters complete, awaiting the  |
+//! |               | *next* task's arrival (or a CPU flush) to schedule  |
+//! | `Scheduling` (1) | being scheduled / executing on the MTB           |
+//!
+//! `sched = true` tells the scheduler warp to begin placing the task.
+//!
+//! This module holds the pure state machine with its transition rules; the
+//! runtime layers PCIe visibility timing on top.
+
+/// A Pagoda task identifier. The paper requires task IDs > 1 so the `ready`
+/// field can overload 0/−1/1 as protocol states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The smallest legal task ID.
+    pub const FIRST: TaskId = TaskId(2);
+
+    /// The next ID after this one.
+    pub fn next(self) -> TaskId {
+        TaskId(self.0 + 1)
+    }
+}
+
+/// The `ready` field of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ready {
+    /// 0 — unoccupied.
+    #[default]
+    Free,
+    /// −1 — parameters copied; waiting for the pipeline to advance.
+    Copied,
+    /// 1 — under consideration for scheduling / executing.
+    Scheduling,
+    /// A task ID > 1: reference to the previously spawned task.
+    Ref(TaskId),
+}
+
+/// Full per-entry protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EntryState {
+    /// The four-state `ready` field.
+    pub ready: Ready,
+    /// The scheduling flag.
+    pub sched: bool,
+}
+
+/// Position of an entry: column = owning MTB, row within the column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryIndex {
+    /// Owning MTB / TaskTable column.
+    pub col: u32,
+    /// Row within the column.
+    pub row: u32,
+}
+
+/// One side (CPU or GPU) of the mirrored table.
+#[derive(Debug, Clone)]
+pub struct TaskTableSide {
+    cols: u32,
+    rows: u32,
+    entries: Vec<EntryState>,
+}
+
+impl TaskTableSide {
+    /// An all-free table.
+    pub fn new(cols: u32, rows: u32) -> Self {
+        TaskTableSide {
+            cols,
+            rows,
+            entries: vec![EntryState::default(); (cols * rows) as usize],
+        }
+    }
+
+    /// Columns (= MTBs).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Rows per column.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn idx(&self, e: EntryIndex) -> usize {
+        assert!(e.col < self.cols && e.row < self.rows, "bad index {e:?}");
+        (e.col * self.rows + e.row) as usize
+    }
+
+    /// Reads an entry.
+    pub fn get(&self, e: EntryIndex) -> EntryState {
+        self.entries[self.idx(e)]
+    }
+
+    /// Raw write (used when applying a DMA-visible snapshot).
+    pub fn set(&mut self, e: EntryIndex, s: EntryState) {
+        let i = self.idx(e);
+        self.entries[i] = s;
+    }
+
+    /// CPU spawn (Fig. 2b step 1): claim a free entry, recording either
+    /// `Copied` (first task of a chain) or `Ref(prev)`.
+    ///
+    /// # Panics
+    /// Panics if the entry is not free (the CPU may only touch free
+    /// entries) or if `ready` is not one of the two legal spawn values.
+    pub fn cpu_claim(&mut self, e: EntryIndex, ready: Ready) {
+        let i = self.idx(e);
+        assert_eq!(
+            self.entries[i].ready,
+            Ready::Free,
+            "CPU spawning into occupied entry {e:?}"
+        );
+        assert!(
+            matches!(ready, Ready::Copied | Ready::Ref(_)),
+            "illegal spawn ready value {ready:?}"
+        );
+        self.entries[i] = EntryState { ready, sched: false };
+    }
+
+    /// GPU chain step, previous entry (Algorithm 1, lines 12-13):
+    /// `Copied → (Scheduling, sched=1)`.
+    ///
+    /// # Panics
+    /// Panics unless the entry is in `Copied` state.
+    pub fn chain_mark_schedulable(&mut self, e: EntryIndex) {
+        let i = self.idx(e);
+        assert_eq!(
+            self.entries[i].ready,
+            Ready::Copied,
+            "chain_mark_schedulable on {e:?} in state {:?}",
+            self.entries[i]
+        );
+        self.entries[i] = EntryState {
+            ready: Ready::Scheduling,
+            sched: true,
+        };
+    }
+
+    /// GPU chain step, current entry: `Ref(_) → Copied` (parameters now
+    /// known complete).
+    ///
+    /// # Panics
+    /// Panics unless the entry holds a task reference.
+    pub fn chain_settle(&mut self, e: EntryIndex) {
+        let i = self.idx(e);
+        assert!(
+            matches!(self.entries[i].ready, Ready::Ref(_)),
+            "chain_settle on {e:?} in state {:?}",
+            self.entries[i]
+        );
+        self.entries[i] = EntryState {
+            ready: Ready::Copied,
+            sched: false,
+        };
+    }
+
+    /// Scheduler warp begins placing the task (Algorithm 1, line 15):
+    /// clears `sched`.
+    ///
+    /// # Panics
+    /// Panics if `sched` was not set.
+    pub fn clear_sched(&mut self, e: EntryIndex) {
+        let i = self.idx(e);
+        assert!(self.entries[i].sched, "clear_sched on {e:?} without flag");
+        self.entries[i].sched = false;
+    }
+
+    /// Last executor warp of the task resets `ready` (Algorithm 1, line
+    /// 42), freeing the entry for the CPU.
+    ///
+    /// # Panics
+    /// Panics unless the entry was `Scheduling`.
+    pub fn complete(&mut self, e: EntryIndex) {
+        let i = self.idx(e);
+        assert_eq!(
+            self.entries[i].ready,
+            Ready::Scheduling,
+            "completing {e:?} in state {:?}",
+            self.entries[i]
+        );
+        self.entries[i] = EntryState::default();
+    }
+
+    /// All entries of one column, row order (the scheduler warp's scan).
+    pub fn column(&self, col: u32) -> impl Iterator<Item = (EntryIndex, EntryState)> + '_ {
+        (0..self.rows).map(move |row| {
+            let e = EntryIndex { col, row };
+            (e, self.get(e))
+        })
+    }
+
+    /// Number of free entries.
+    pub fn free_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|s| s.ready == Ready::Free)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(col: u32, row: u32) -> EntryIndex {
+        EntryIndex { col, row }
+    }
+
+    #[test]
+    fn fig2b_sequence_for_two_tasks() {
+        // GPU-side table following Fig. 2b: TA spawned first (Copied), TB
+        // spawned with Ref(TA); scheduler settles the chain.
+        let mut t = TaskTableSide::new(2, 2);
+        let ta = e(0, 0);
+        let tb = e(1, 0);
+        let id_a = TaskId::FIRST;
+
+        // H2D copies arrive:
+        t.set(ta, EntryState { ready: Ready::Copied, sched: false });
+        t.set(tb, EntryState { ready: Ready::Ref(id_a), sched: false });
+
+        // S2 (TB's scheduler) sees Ref(TA): marks TA schedulable, settles TB.
+        t.chain_mark_schedulable(ta);
+        t.chain_settle(tb);
+        assert_eq!(
+            t.get(ta),
+            EntryState { ready: Ready::Scheduling, sched: true }
+        );
+        assert_eq!(t.get(tb), EntryState { ready: Ready::Copied, sched: false });
+
+        // S1 schedules TA: clears sched, runs, completes.
+        t.clear_sched(ta);
+        t.complete(ta);
+        assert_eq!(t.get(ta), EntryState::default());
+
+        // CPU flush path for TB: (Copied, 0) -> (Scheduling, sched).
+        t.chain_mark_schedulable(tb);
+        t.clear_sched(tb);
+        t.complete(tb);
+        assert_eq!(t.free_entries(), 4);
+    }
+
+    #[test]
+    fn cpu_claim_rules() {
+        let mut t = TaskTableSide::new(1, 2);
+        t.cpu_claim(e(0, 0), Ready::Copied);
+        t.cpu_claim(e(0, 1), Ready::Ref(TaskId(2)));
+        assert_eq!(t.free_entries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied entry")]
+    fn cpu_cannot_claim_occupied() {
+        let mut t = TaskTableSide::new(1, 1);
+        t.cpu_claim(e(0, 0), Ready::Copied);
+        t.cpu_claim(e(0, 0), Ready::Copied);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal spawn ready")]
+    fn cpu_cannot_spawn_scheduling_state() {
+        let mut t = TaskTableSide::new(1, 1);
+        t.cpu_claim(e(0, 0), Ready::Scheduling);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain_mark_schedulable")]
+    fn chain_mark_requires_copied() {
+        let mut t = TaskTableSide::new(1, 1);
+        t.chain_mark_schedulable(e(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "completing")]
+    fn complete_requires_scheduling() {
+        let mut t = TaskTableSide::new(1, 1);
+        t.complete(e(0, 0));
+    }
+
+    #[test]
+    fn task_ids_start_above_one() {
+        assert_eq!(TaskId::FIRST.0, 2);
+        assert_eq!(TaskId::FIRST.next().0, 3);
+    }
+
+    #[test]
+    fn column_iterates_rows_in_order() {
+        let mut t = TaskTableSide::new(2, 3);
+        t.cpu_claim(e(1, 2), Ready::Copied);
+        let col: Vec<_> = t.column(1).collect();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col[2].0, e(1, 2));
+        assert_eq!(col[2].1.ready, Ready::Copied);
+        assert_eq!(col[0].1.ready, Ready::Free);
+    }
+}

@@ -1,0 +1,227 @@
+//! Task descriptions: what `taskSpawn` takes (paper Table 1).
+//!
+//! A Pagoda task is a narrow kernel: a handful of threadblocks, each well
+//! under 1024 threads (the paper's narrow tasks use 32-512). Because every
+//! warp of a task executes inside one MTB, a task threadblock may use at
+//! most the MTB's 31 executor warps (992 threads) and at most the MTB's
+//! 32 KB shared-memory slice.
+
+use gpu_arch::WARP_SIZE;
+use gpu_sim::BlockWork;
+
+use crate::smem::SMEM_POOL_BYTES;
+use crate::warptable::EXECUTORS_PER_MTB;
+
+/// Maximum threads per task threadblock (31 executor warps).
+pub const MAX_THREADS_PER_TASK_TB: u32 = (EXECUTORS_PER_MTB as u32) * WARP_SIZE;
+
+/// Everything `taskSpawn` needs (paper Table 1): launch shape, shared
+/// memory, the sync flag, the kernel work, and the task's I/O volume.
+#[derive(Debug, Clone)]
+pub struct TaskDesc {
+    /// Threads per threadblock (1 ..= 992).
+    pub threads_per_tb: u32,
+    /// Threadblocks in the task.
+    pub num_tbs: u32,
+    /// Dynamic shared memory per threadblock, bytes (0 ..= 32768).
+    pub smem_per_tb: u32,
+    /// Whether the task uses `syncBlock()` (threadblock-level barriers).
+    pub sync: bool,
+    /// The kernel work, one [`BlockWork`] per threadblock.
+    pub blocks: Vec<BlockWork>,
+    /// Input bytes copied host→device before the task can run.
+    pub input_bytes: u64,
+    /// Output bytes copied device→host after the task completes.
+    pub output_bytes: u64,
+    /// Operation count of the task's *sequential CPU* implementation. The
+    /// GPU-side [`TaskDesc::total_instrs`] charges whole warps for their
+    /// slowest lane (SIMT divergence); a CPU executes only the real work,
+    /// so the CPU baselines use this count instead.
+    pub cpu_ops: u64,
+}
+
+/// Why a task description is rejected by `task_spawn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskError {
+    /// Threadblock larger than the 31 executor warps of an MTB.
+    TooManyThreadsPerTb {
+        /// Requested threads per threadblock.
+        requested: u32,
+    },
+    /// Zero threads or zero threadblocks.
+    EmptyTask,
+    /// More shared memory per threadblock than an MTB's 32 KB slice.
+    SmemTooLarge {
+        /// Requested bytes.
+        requested: u32,
+    },
+    /// `blocks.len()` disagrees with `num_tbs`, or a block's warp count
+    /// disagrees with `threads_per_tb`.
+    ShapeMismatch,
+    /// Blocks contain barriers but `sync` is false — on real hardware the
+    /// task would synchronize on a barrier ID it never allocated.
+    UndeclaredSync,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::TooManyThreadsPerTb { requested } => write!(
+                f,
+                "task threadblock of {requested} threads exceeds the \
+                 {MAX_THREADS_PER_TASK_TB}-thread MTB executor capacity"
+            ),
+            TaskError::EmptyTask => write!(f, "task with zero threads or threadblocks"),
+            TaskError::SmemTooLarge { requested } => write!(
+                f,
+                "task requests {requested} B shared memory per threadblock; \
+                 an MTB manages {SMEM_POOL_BYTES} B"
+            ),
+            TaskError::ShapeMismatch => {
+                write!(f, "block work disagrees with the declared task shape")
+            }
+            TaskError::UndeclaredSync => {
+                write!(f, "task uses barriers but did not set the sync flag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl TaskDesc {
+    /// A single-threadblock task whose warps all run `work`, with no
+    /// shared memory and no I/O — the common microbenchmark shape.
+    pub fn uniform(threads: u32, work: gpu_sim::WarpWork) -> Self {
+        let warps = threads.div_ceil(WARP_SIZE);
+        let sync = work.barrier_count() > 0;
+        let cpu_ops = work.total_instrs() * u64::from(warps);
+        TaskDesc {
+            threads_per_tb: threads,
+            num_tbs: 1,
+            smem_per_tb: 0,
+            sync,
+            blocks: vec![BlockWork::uniform(warps, work)],
+            input_bytes: 0,
+            output_bytes: 0,
+            cpu_ops,
+        }
+    }
+
+    /// Warps per threadblock (partial warps round up).
+    pub fn warps_per_tb(&self) -> u32 {
+        self.threads_per_tb.div_ceil(WARP_SIZE)
+    }
+
+    /// Total warps across the task.
+    pub fn total_warps(&self) -> u32 {
+        self.warps_per_tb() * self.num_tbs
+    }
+
+    /// Whether scheduling must go threadblock-by-threadblock (Algorithm 1,
+    /// line 17): any task that needs shared memory or synchronization.
+    pub fn per_tb_scheduling(&self) -> bool {
+        self.smem_per_tb > 0 || self.sync
+    }
+
+    /// Validates against the MTB capacity rules above.
+    pub fn validate(&self) -> Result<(), TaskError> {
+        if self.threads_per_tb == 0 || self.num_tbs == 0 {
+            return Err(TaskError::EmptyTask);
+        }
+        if self.threads_per_tb > MAX_THREADS_PER_TASK_TB {
+            return Err(TaskError::TooManyThreadsPerTb {
+                requested: self.threads_per_tb,
+            });
+        }
+        if self.smem_per_tb > SMEM_POOL_BYTES {
+            return Err(TaskError::SmemTooLarge {
+                requested: self.smem_per_tb,
+            });
+        }
+        if self.blocks.len() != self.num_tbs as usize {
+            return Err(TaskError::ShapeMismatch);
+        }
+        for b in &self.blocks {
+            if b.num_warps() != self.warps_per_tb() {
+                return Err(TaskError::ShapeMismatch);
+            }
+            if !self.sync && b.warps().iter().any(|w| w.barrier_count() > 0) {
+                return Err(TaskError::UndeclaredSync);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total thread-instructions in the task.
+    pub fn total_instrs(&self) -> u64 {
+        self.blocks.iter().map(BlockWork::total_instrs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WarpWork;
+
+    #[test]
+    fn uniform_narrow_task_validates() {
+        let t = TaskDesc::uniform(128, WarpWork::compute(1000, 2.0));
+        t.validate().unwrap();
+        assert_eq!(t.warps_per_tb(), 4);
+        assert_eq!(t.total_warps(), 4);
+        assert!(!t.per_tb_scheduling());
+        assert_eq!(t.total_instrs(), 4000);
+    }
+
+    #[test]
+    fn sync_detected_from_work() {
+        let t = TaskDesc::uniform(64, WarpWork::phased(1000, 2, 1.0));
+        assert!(t.sync);
+        assert!(t.per_tb_scheduling());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_oversized_tb() {
+        let t = TaskDesc::uniform(993, WarpWork::compute(1, 1.0));
+        assert_eq!(
+            t.validate(),
+            Err(TaskError::TooManyThreadsPerTb { requested: 993 })
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_smem() {
+        let mut t = TaskDesc::uniform(32, WarpWork::compute(1, 1.0));
+        t.smem_per_tb = 33 * 1024;
+        assert!(matches!(t.validate(), Err(TaskError::SmemTooLarge { .. })));
+    }
+
+    #[test]
+    fn rejects_undeclared_sync() {
+        let mut t = TaskDesc::uniform(64, WarpWork::phased(1000, 2, 1.0));
+        t.sync = false;
+        assert_eq!(t.validate(), Err(TaskError::UndeclaredSync));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut t = TaskDesc::uniform(64, WarpWork::compute(1, 1.0));
+        t.num_tbs = 2;
+        assert_eq!(t.validate(), Err(TaskError::ShapeMismatch));
+    }
+
+    #[test]
+    fn max_tb_exactly_992_threads() {
+        let t = TaskDesc::uniform(992, WarpWork::compute(1, 1.0));
+        t.validate().unwrap();
+        assert_eq!(t.warps_per_tb(), 31);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = TaskError::SmemTooLarge { requested: 40000 };
+        assert!(e.to_string().contains("40000"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The per-MTB WarpTable (paper Table 2).
+//!
+//! Each MTB keeps one slot per executor warp (31 of them) in shared
+//! memory. The scheduler warp writes a slot to dispatch work (`pSched`,
+//! Algorithm 2); the executor warp spins on its `exec` flag, runs the task,
+//! and clears the flag when done. Slot fields mirror the paper exactly:
+//! `warpId` (warp index within the task, for `getTid()`), `eNum` (which
+//! TaskTable entry the work came from), `SMindex` (shared-memory block),
+//! `barId` (named barrier), `exec` (dispatch flag / busy status).
+
+use crate::barrier::BarrierId;
+use crate::smem::NodeId;
+use crate::table::EntryIndex;
+
+/// Executor warps per MTB: 32 warps minus the scheduler warp.
+pub const EXECUTORS_PER_MTB: usize = 31;
+
+/// One WarpTable slot (paper Table 2). `None` fields correspond to tasks
+/// that requested no shared memory / no synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Warp index of this warp *within its task*, used by `getTid()`.
+    pub warp_id: u32,
+    /// TaskTable entry being executed (the paper's `eNum`).
+    pub e_num: EntryIndex,
+    /// Which task threadblock within the task this warp belongs to.
+    pub tb_index: u32,
+    /// Shared-memory block of the threadblock, if any.
+    pub sm_index: Option<NodeId>,
+    /// Named barrier of the threadblock, if it synchronizes.
+    pub bar_id: Option<BarrierId>,
+}
+
+/// The WarpTable: 31 slots plus a free count.
+#[derive(Debug, Clone)]
+pub struct WarpTable {
+    slots: [Option<Slot>; EXECUTORS_PER_MTB],
+}
+
+impl Default for WarpTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WarpTable {
+    /// All slots free.
+    pub fn new() -> Self {
+        WarpTable {
+            slots: [None; EXECUTORS_PER_MTB],
+        }
+    }
+
+    /// Number of executor warps with a cleared `exec` flag.
+    pub fn free_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Finds the lowest free slot, like the parallel scan in `pSched`
+    /// (deterministic tie-break: the lowest thread lane wins the atomic).
+    pub fn find_free(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    /// Dispatches work to a slot: writes the fields, then sets `exec`
+    /// (Algorithm 2, lines 9-14; the threadfence between field writes and
+    /// the flag is implicit in our sequential model).
+    ///
+    /// # Panics
+    /// Panics if the slot is already busy.
+    pub fn dispatch(&mut self, slot: usize, s: Slot) {
+        assert!(self.slots[slot].is_none(), "slot {slot} already executing");
+        self.slots[slot] = Some(s);
+    }
+
+    /// The executor warp finished: clears `exec`, returning the slot's
+    /// contents for completion bookkeeping.
+    ///
+    /// # Panics
+    /// Panics if the slot was not busy.
+    pub fn complete(&mut self, slot: usize) -> Slot {
+        self.slots[slot]
+            .take()
+            .unwrap_or_else(|| panic!("completion on idle slot {slot}"))
+    }
+
+    /// Contents of a busy slot.
+    pub fn get(&self, slot: usize) -> Option<&Slot> {
+        self.slots[slot].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::EntryIndex;
+
+    fn slot(e: u32) -> Slot {
+        Slot {
+            warp_id: 0,
+            e_num: EntryIndex { col: 0, row: e },
+            tb_index: 0,
+            sm_index: None,
+            bar_id: None,
+        }
+    }
+
+    #[test]
+    fn dispatch_and_complete_roundtrip() {
+        let mut wt = WarpTable::new();
+        assert_eq!(wt.free_count(), 31);
+        let i = wt.find_free().unwrap();
+        wt.dispatch(i, slot(3));
+        assert_eq!(wt.free_count(), 30);
+        assert_eq!(wt.get(i).unwrap().e_num.row, 3);
+        let s = wt.complete(i);
+        assert_eq!(s.e_num.row, 3);
+        assert_eq!(wt.free_count(), 31);
+    }
+
+    #[test]
+    fn fills_all_31_slots() {
+        let mut wt = WarpTable::new();
+        for k in 0..31 {
+            let i = wt.find_free().unwrap();
+            wt.dispatch(i, slot(k));
+        }
+        assert_eq!(wt.free_count(), 0);
+        assert!(wt.find_free().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already executing")]
+    fn double_dispatch_panics() {
+        let mut wt = WarpTable::new();
+        wt.dispatch(0, slot(0));
+        wt.dispatch(0, slot(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "completion on idle")]
+    fn complete_idle_panics() {
+        let mut wt = WarpTable::new();
+        wt.complete(4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the buddy shared-memory allocator: the
+//! paper's structural invariant, non-overlap, conservation, and
+//! idempotent merge behaviour under arbitrary alloc/dealloc interleavings.
+
+use pagoda_core::smem::{BuddyAllocator, NodeId, SMEM_POOL_BYTES};
+use proptest::prelude::*;
+
+/// A scripted allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Request this many bytes (may fail — that's fine).
+    Alloc(u32),
+    /// Immediately free the k-th live allocation (mod live count).
+    Dealloc(usize),
+    /// Defer-free the k-th live allocation, then drain.
+    MarkAndDrain(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..=SMEM_POOL_BYTES).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Dealloc),
+        (0usize..64).prop_map(Op::MarkAndDrain),
+    ]
+}
+
+fn overlap(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_under_any_op_sequence(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut alloc = BuddyAllocator::new();
+        let mut live: Vec<(NodeId, u32)> = Vec::new(); // (node, requested)
+        let mut outstanding = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Alloc(bytes) => {
+                    if let Ok(n) = alloc.alloc(bytes) {
+                        let (_, size) = alloc.block_of(n);
+                        prop_assert!(size >= bytes.max(512).next_power_of_two().min(SMEM_POOL_BYTES));
+                        live.push((n, size));
+                        outstanding += size;
+                    }
+                }
+                Op::Dealloc(k) if !live.is_empty() => {
+                    let (n, size) = live.remove(k % live.len());
+                    alloc.dealloc(n);
+                    outstanding -= size;
+                }
+                Op::MarkAndDrain(k) if !live.is_empty() => {
+                    let (n, size) = live.remove(k % live.len());
+                    alloc.mark_for_dealloc(n);
+                    prop_assert!(alloc.has_pending_deallocs());
+                    prop_assert_eq!(alloc.dealloc_marked(), 1);
+                    outstanding -= size;
+                }
+                _ => {}
+            }
+            // Paper invariant: marked node ⇒ marked parent.
+            prop_assert!(alloc.check_invariant());
+            // Accounting matches our shadow state.
+            prop_assert_eq!(alloc.allocated_bytes(), outstanding);
+            // Live blocks never overlap.
+            let blocks: Vec<(u32, u32)> = live.iter().map(|(n, _)| alloc.block_of(*n)).collect();
+            for i in 0..blocks.len() {
+                for j in i + 1..blocks.len() {
+                    prop_assert!(!overlap(blocks[i], blocks[j]), "{:?} vs {:?}", blocks[i], blocks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeing_everything_restores_the_full_pool(sizes in prop::collection::vec(512u32..8192, 1..20)) {
+        let mut alloc = BuddyAllocator::new();
+        let mut live = Vec::new();
+        for s in sizes {
+            if let Ok(n) = alloc.alloc(s) {
+                live.push(n);
+            }
+        }
+        for n in live {
+            alloc.dealloc(n);
+        }
+        // The tree must have merged back to one 32 KB block.
+        let full = alloc.alloc(SMEM_POOL_BYTES);
+        prop_assert!(full.is_ok());
+    }
+
+    #[test]
+    fn allocator_never_hands_out_more_than_the_pool(sizes in prop::collection::vec(512u32..32_769, 1..80)) {
+        let mut alloc = BuddyAllocator::new();
+        let mut total = 0u64;
+        for s in sizes {
+            if let Ok(n) = alloc.alloc(s) {
+                total += u64::from(alloc.block_of(n).1);
+            }
+        }
+        prop_assert!(total <= u64::from(SMEM_POOL_BYTES));
+    }
+}

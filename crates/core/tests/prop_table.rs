@@ -1,0 +1,73 @@
+//! Property tests of the TaskTable protocol state machine: the legal
+//! transition graph of Fig. 2a is closed (no sequence of legal operations
+//! reaches an illegal state), and the CPU/GPU ownership split holds.
+
+use pagoda_core::{EntryIndex, EntryState, Ready, TaskId};
+use pagoda_core::table::TaskTableSide;
+use proptest::prelude::*;
+
+// Drive one entry through its legal lifecycle a random number of times,
+// alternating the two ways a task becomes schedulable (successor chain
+// vs CPU flush — both are `chain_mark_schedulable` at the table level).
+proptest! {
+    #[test]
+    fn entry_lifecycle_roundtrips(cycles in 1usize..50, use_ref in prop::collection::vec(prop::bool::ANY, 50)) {
+        let mut t = TaskTableSide::new(1, 1);
+        let e = EntryIndex { col: 0, row: 0 };
+        for i in 0..cycles {
+            prop_assert_eq!(t.get(e), EntryState::default());
+            if use_ref[i % use_ref.len()] {
+                // Arrives as Ref(prev), settles via the chain.
+                t.set(e, EntryState { ready: Ready::Ref(TaskId(2 + i as u64)), sched: false });
+                t.chain_settle(e);
+            } else {
+                // Arrives as the first of a chain.
+                t.set(e, EntryState { ready: Ready::Copied, sched: false });
+            }
+            t.chain_mark_schedulable(e);
+            t.clear_sched(e);
+            t.complete(e);
+        }
+        prop_assert_eq!(t.free_entries(), 1);
+    }
+
+    #[test]
+    fn cpu_claims_respect_ownership(claims in prop::collection::vec((0u32..4, 0u32..8), 1..64)) {
+        // The CPU may only claim entries whose ready field is Free; any
+        // double claim must panic (checked via catch_unwind) rather than
+        // silently corrupt.
+        let mut t = TaskTableSide::new(4, 8);
+        let mut occupied = std::collections::HashSet::new();
+        for (col, row) in claims {
+            let e = EntryIndex { col, row };
+            let fresh = occupied.insert((col, row));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut clone = t.clone();
+                clone.cpu_claim(e, Ready::Copied);
+                clone
+            }));
+            if fresh {
+                t = result.expect("claiming a free entry must succeed");
+            } else {
+                prop_assert!(result.is_err(), "double claim must be rejected");
+            }
+        }
+        prop_assert_eq!(t.free_entries(), 32 - occupied.len());
+    }
+
+    #[test]
+    fn column_scan_sees_consistent_states(rows in 1u32..32, marks in prop::collection::vec(0u32..32, 0..16)) {
+        let mut t = TaskTableSide::new(1, rows);
+        let mut expected = 0;
+        let mut seen = std::collections::HashSet::new();
+        for m in marks {
+            let row = m % rows;
+            if seen.insert(row) {
+                t.cpu_claim(EntryIndex { col: 0, row }, Ready::Copied);
+                expected += 1;
+            }
+        }
+        let non_free = t.column(0).filter(|(_, s)| s.ready != Ready::Free).count();
+        prop_assert_eq!(non_free, expected);
+    }
+}

@@ -1,0 +1,366 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the temporal substrate for the Pagoda reproduction. Every
+//! other component — the PCIe bus model, the GPU device simulator, the
+//! Pagoda runtime, the baseline runtimes — advances time exclusively through
+//! an [`Engine`], which maintains a picosecond-resolution virtual clock and a
+//! priority queue of pending events.
+//!
+//! # Design
+//!
+//! The engine is generic over the event payload type `E`. Components do not
+//! register callbacks; instead the *owner* of the simulation (e.g. the GPU
+//! device model) pops `(time, event)` pairs in nondecreasing time order and
+//! dispatches on the payload. This keeps all mutable state in one place and
+//! sidesteps the borrow gymnastics of callback-style DES designs, at no cost
+//! in expressiveness.
+//!
+//! Determinism guarantees:
+//!
+//! * Events scheduled for the same instant are delivered in the order they
+//!   were scheduled (a monotone sequence number breaks ties).
+//! * No wall-clock time, OS entropy, or thread scheduling influences event
+//!   order; two runs of the same program produce identical traces.
+//!
+//! Events can be cancelled via the [`EventKey`] returned at scheduling time;
+//! cancellation is O(1) (lazy deletion at pop time). This is used heavily by
+//! the GPU warp engine, which must invalidate predicted completion events
+//! whenever the resident-warp set of an SMM changes.
+
+mod time;
+
+pub use time::{Dur, SimTime};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle to a scheduled event, usable to cancel it.
+///
+/// Keys are unique for the lifetime of an [`Engine`]; a key from one engine
+/// must not be used with another (cancellation would silently target the
+/// wrong event if sequence numbers collide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Primary: time. Secondary: insertion order (determinism).
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Counters describing a finished (or in-progress) simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered through [`Engine::pop`].
+    pub delivered: u64,
+    /// Events scheduled over the engine's lifetime.
+    pub scheduled: u64,
+    /// Events cancelled before delivery.
+    pub cancelled: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_queue_len: usize,
+}
+
+/// A deterministic discrete-event simulator clock and event queue.
+///
+/// See the [crate docs](crate) for the overall design. Typical driving loop:
+///
+/// ```
+/// use desim::{Engine, SimTime, Dur};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut eng = Engine::new();
+/// eng.schedule_in(Dur::from_ns(5), Ev::Pong);
+/// eng.schedule_in(Dur::from_ns(2), Ev::Ping);
+///
+/// let (t1, e1) = eng.pop().unwrap();
+/// assert_eq!((t1, e1), (SimTime::from_ns(2), Ev::Ping));
+/// let (t2, e2) = eng.pop().unwrap();
+/// assert_eq!((t2, e2), (SimTime::from_ns(5), Ev::Pong));
+/// assert!(eng.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    /// Sequence numbers scheduled but not yet delivered or cancelled —
+    /// makes [`Engine::cancel`]'s return value exact.
+    pending: HashSet<u64>,
+    stats: EngineStats,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            pending: HashSet::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Current virtual time. Advances only inside [`Engine::pop`].
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (`at < self.now()`); delivering events
+    /// out of time order would corrupt every model built on the engine.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        self.pending.insert(seq);
+        self.stats.scheduled += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.heap.len());
+        EventKey(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Dur, event: E) -> EventKey {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the current instant, after all events already
+    /// scheduled for this instant.
+    pub fn schedule_now(&mut self, event: E) -> EventKey {
+        self.schedule(self.now, event)
+    }
+
+    /// Cancels a pending event. Returns `true` only if the event had been
+    /// scheduled and not yet delivered or cancelled. O(1); the heap slot
+    /// is dropped lazily at pop.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if !self.pending.remove(&key.0) {
+            return false; // unknown, already delivered, or already cancelled
+        }
+        self.cancelled.insert(key.0);
+        self.stats.cancelled += 1;
+        true
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when no (non-cancelled) events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue; // lazily dropped
+            }
+            debug_assert!(s.at >= self.now, "event queue went backwards");
+            self.pending.remove(&s.seq);
+            self.now = s.at;
+            self.stats.delivered += 1;
+            return Some((s.at, s.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event without delivering it, skipping
+    /// cancelled entries.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(s)) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let seq = s.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(s.at);
+        }
+        None
+    }
+
+    /// True when no deliverable events remain.
+    pub fn is_idle(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of pending (possibly cancelled-but-not-yet-dropped) events.
+    pub fn queue_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Lifetime counters for this engine.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Advances the clock to `t` without delivering events.
+    ///
+    /// # Panics
+    /// Panics if a pending event is scheduled before `t` (skipping it would
+    /// break causality) or if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to into the past");
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= t,
+                "advance_to({t:?}) would skip a pending event at {next:?}"
+            );
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_ns(30), Ev::C);
+        e.schedule(SimTime::from_ns(10), Ev::A);
+        e.schedule(SimTime::from_ns(20), Ev::B);
+        assert_eq!(e.pop(), Some((SimTime::from_ns(10), Ev::A)));
+        assert_eq!(e.pop(), Some((SimTime::from_ns(20), Ev::B)));
+        assert_eq!(e.pop(), Some((SimTime::from_ns(30), Ev::C)));
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut e = Engine::new();
+        let t = SimTime::from_ns(5);
+        e.schedule(t, Ev::A);
+        e.schedule(t, Ev::B);
+        e.schedule(t, Ev::C);
+        assert_eq!(e.pop().unwrap().1, Ev::A);
+        assert_eq!(e.pop().unwrap().1, Ev::B);
+        assert_eq!(e.pop().unwrap().1, Ev::C);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_ns(7), Ev::A);
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(1), Ev::A);
+        e.schedule(SimTime::from_ns(2), Ev::B);
+        assert!(e.cancel(k));
+        assert!(!e.cancel(k), "double cancel reports false");
+        assert_eq!(e.pop(), Some((SimTime::from_ns(2), Ev::B)));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut e: Engine<Ev> = Engine::new();
+        assert!(!e.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(1), Ev::A);
+        e.schedule(SimTime::from_ns(9), Ev::B);
+        e.cancel(k);
+        assert_eq!(e.peek_time(), Some(SimTime::from_ns(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_ns(10), Ev::A);
+        e.pop();
+        e.schedule(SimTime::from_ns(5), Ev::B);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::ZERO, Ev::A);
+        e.schedule_now(Ev::B);
+        assert_eq!(e.pop().unwrap().1, Ev::A);
+        assert_eq!(e.pop().unwrap().1, Ev::B);
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let mut e: Engine<Ev> = Engine::new();
+        e.advance_to(SimTime::from_us(3));
+        assert_eq!(e.now(), SimTime::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_ns(5), Ev::A);
+        e.advance_to(SimTime::from_ns(6));
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let mut e = Engine::new();
+        for i in 0..10u64 {
+            e.schedule(SimTime::from_ns(i), Ev::A);
+        }
+        let k = e.schedule(SimTime::from_ns(100), Ev::B);
+        e.cancel(k);
+        while e.pop().is_some() {}
+        let s = e.stats();
+        assert_eq!(s.scheduled, 11);
+        assert_eq!(s.delivered, 10);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.max_queue_len, 11);
+    }
+}

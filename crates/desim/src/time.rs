@@ -1,0 +1,274 @@
+//! Simulated time: a picosecond-resolution monotone clock.
+//!
+//! Picoseconds are fine enough to represent single cycles of every clock
+//! domain in the model exactly (1 GHz GPU core → 1000 ps, 2.6 GHz CPU core →
+//! ~385 ps, PCIe symbol times) while a `u64` still spans ~213 days of
+//! simulated time — many orders of magnitude beyond any experiment here.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An absolute instant on the simulation clock, in picoseconds since the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in picoseconds. `SimTime + Dur = SimTime`,
+/// `SimTime - SimTime = Dur`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far"
+    /// sentinel for completion predictions of stalled warps.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Constructs from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+    /// Constructs from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * PS_PER_US)
+    }
+    /// Constructs from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * PS_PER_MS)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// This instant expressed in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+    /// This instant expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+    /// This instant expressed in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Span since an earlier instant. Saturates at zero rather than
+    /// panicking, so callers comparing concurrently-updated timestamps do
+    /// not have to order-check first.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// A zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Constructs from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Dur(ps)
+    }
+    /// Constructs from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Dur(ns * PS_PER_NS)
+    }
+    /// Constructs from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us * PS_PER_US)
+    }
+    /// Constructs from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * PS_PER_MS)
+    }
+    /// Constructs from fractional seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Dur((s * PS_PER_S as f64).round() as u64)
+    }
+
+    /// `n` cycles of a clock running at `ghz` GHz, rounded up to whole
+    /// picoseconds (a partial cycle still occupies the resource).
+    pub fn from_cycles(n: u64, ghz: f64) -> Self {
+        assert!(ghz > 0.0, "non-positive clock frequency");
+        let ps_per_cycle = 1_000.0 / ghz; // 1 GHz -> 1000 ps
+        Dur((n as f64 * ps_per_cycle).ceil() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// This span expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+    /// This span expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Scales the span by an integer factor.
+    #[inline]
+    pub const fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: Dur) -> SimTime {
+        SimTime(self.0.checked_add(d.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    /// # Panics
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("SimTime subtraction underflow"))
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, d: Dur) -> Dur {
+        Dur(self.0.checked_add(d.0).expect("Dur overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        *self = *self + d;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        }
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimTime(self.0).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_us(3).as_us_f64(), 3.0);
+        assert_eq!(Dur::from_ms(2).as_secs_f64(), 0.002);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100) + Dur::from_ns(50);
+        assert_eq!(t, SimTime::from_ns(150));
+        assert_eq!(t - SimTime::from_ns(100), Dur::from_ns(50));
+        assert_eq!(
+            SimTime::from_ns(10).saturating_since(SimTime::from_ns(20)),
+            Dur::ZERO
+        );
+    }
+
+    #[test]
+    fn cycles_at_1ghz_are_exact() {
+        assert_eq!(Dur::from_cycles(1, 1.0).as_ps(), 1_000);
+        assert_eq!(Dur::from_cycles(1_000, 1.0).as_ps(), 1_000_000);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        // 2.6 GHz -> 384.6 ps/cycle; 1 cycle must occupy at least 385 ps.
+        assert_eq!(Dur::from_cycles(1, 2.6).as_ps(), 385);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(Dur::from_secs_f64(1e-9).as_ps(), 1_000);
+        assert_eq!(Dur::from_secs_f64(0.0).as_ps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn from_secs_rejects_negative() {
+        Dur::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", SimTime::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(5)), "5.000ms");
+    }
+}

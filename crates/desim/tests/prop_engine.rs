@@ -1,0 +1,82 @@
+//! Property tests of the event engine: delivery order, cancellation
+//! semantics, and clock monotonicity under arbitrary op interleavings.
+
+use desim::{Engine, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(u64),
+    CancelNth(usize),
+    Pop,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Op::Schedule),
+        (0usize..64).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn delivery_is_time_ordered_and_complete(ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut e = Engine::new();
+        let mut keys = Vec::new();
+        let mut live = std::collections::HashMap::new(); // seq -> time
+        let mut next_id = 0u32;
+        let mut delivered: Vec<(u64, u32)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    // Never schedule into the past.
+                    let at = SimTime::from_ps(e.now().as_ps() + t);
+                    let k = e.schedule(at, next_id);
+                    keys.push((k, next_id, at));
+                    live.insert(next_id, at);
+                    next_id += 1;
+                }
+                Op::CancelNth(i) if !keys.is_empty() => {
+                    let (k, id, _) = keys[i % keys.len()];
+                    if e.cancel(k) {
+                        prop_assert!(live.remove(&id).is_some(), "cancel of undelivered only");
+                    }
+                }
+                Op::Pop => {
+                    if let Some((t, id)) = e.pop() {
+                        let expected = live.remove(&id);
+                        prop_assert_eq!(expected, Some(t));
+                        delivered.push((t.as_ps(), id));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Drain the rest.
+        while let Some((t, id)) = e.pop() {
+            prop_assert!(live.remove(&id).is_some());
+            delivered.push((t.as_ps(), id));
+        }
+        prop_assert!(live.is_empty(), "everything scheduled is delivered or cancelled");
+        // Global time order (FIFO ties by construction of ids).
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated: {w:?}");
+        }
+    }
+
+    #[test]
+    fn clock_never_goes_backwards(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut e = Engine::new();
+        for (i, d) in delays.iter().enumerate() {
+            e.schedule(SimTime::from_ps(*d), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = e.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            prop_assert_eq!(e.now(), t);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Machine descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WARP_SIZE;
+
+/// Static description of one GPU. All limits are *per SMM* unless stated
+/// otherwise.
+///
+/// The numbers in [`GpuSpec::titan_x`] come from §2 of the paper ("The GPU
+/// cores are organized into 24 Streaming Multiprocessors … Each SMM has 128
+/// CUDA cores and can concurrently schedule up to 64 warps … 96KB on-chip
+/// shared memory and 64K 32-bit registers").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores (SIMT lanes) per SMM. Determines peak issue throughput:
+    /// `cores_per_sm / WARP_SIZE` warp-instructions per cycle.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Maximum resident warps per SMM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident threads per SMM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident threadblocks per SMM.
+    pub max_tbs_per_sm: u32,
+    /// Shared memory per SMM, bytes.
+    pub smem_per_sm: u32,
+    /// 32-bit registers per SMM.
+    pub regs_per_sm: u32,
+    /// Maximum threads per threadblock.
+    pub max_threads_per_tb: u32,
+    /// Hardware work queues exposed to the host (HyperQ connections); caps
+    /// the number of concurrently executing kernels.
+    pub num_hw_queues: u32,
+    /// PTX named barriers available per threadblock (`bar.sync` IDs). The
+    /// paper: "The PTX model allows for only 16 such barriers" (§5.2).
+    pub named_barriers_per_tb: u32,
+    /// Shared-memory allocation granularity in bytes (Maxwell banksets round
+    /// requests up to 256 B).
+    pub smem_alloc_granularity: u32,
+    /// Register allocation granularity, registers per warp.
+    pub reg_alloc_granularity: u32,
+}
+
+impl GpuSpec {
+    /// The paper's evaluation platform: NVIDIA Maxwell GeForce GTX Titan X
+    /// (GM200), 3072 cores at 1000 MHz.
+    pub fn titan_x() -> Self {
+        GpuSpec {
+            name: "Maxwell Titan X",
+            num_sms: 24,
+            cores_per_sm: 128,
+            clock_ghz: 1.0,
+            max_warps_per_sm: 64,
+            max_threads_per_sm: 2048,
+            max_tbs_per_sm: 32,
+            smem_per_sm: 96 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_threads_per_tb: 1024,
+            num_hw_queues: 32,
+            named_barriers_per_tb: 16,
+            smem_alloc_granularity: 256,
+            reg_alloc_granularity: 8,
+        }
+    }
+
+    /// NVIDIA Tesla K40 (Kepler GK110B) — the second platform on which the
+    /// paper micro-benchmarked TaskTable visibility.
+    pub fn tesla_k40() -> Self {
+        GpuSpec {
+            name: "Tesla K40",
+            num_sms: 15,
+            cores_per_sm: 192,
+            clock_ghz: 0.745,
+            max_warps_per_sm: 64,
+            max_threads_per_sm: 2048,
+            max_tbs_per_sm: 16,
+            smem_per_sm: 48 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_threads_per_tb: 1024,
+            num_hw_queues: 32,
+            named_barriers_per_tb: 16,
+            smem_alloc_granularity: 256,
+            reg_alloc_granularity: 8,
+        }
+    }
+
+    /// Total CUDA cores on the device.
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// Maximum warps resident on the whole device — the occupancy
+    /// denominator (64 × 24 = 1536 on Titan X).
+    pub fn max_resident_warps(&self) -> u32 {
+        self.num_sms * self.max_warps_per_sm
+    }
+
+    /// Warp-instruction issue slots per cycle per SMM (4 on Maxwell).
+    pub fn issue_width(&self) -> u32 {
+        self.cores_per_sm / WARP_SIZE
+    }
+
+    /// Device-wide occupancy for a given number of resident warps, in
+    /// [0, 1]. Paper §2: one 256-thread task alone → 8/(64·24) ≈ 0.52 %.
+    pub fn occupancy(&self, resident_warps: u32) -> f64 {
+        f64::from(resident_warps) / f64::from(self.max_resident_warps())
+    }
+
+    /// Peak thread-instruction throughput of one SMM, in thread-instructions
+    /// per second (`cores × clock`).
+    pub fn sm_peak_ops_per_sec(&self) -> f64 {
+        f64::from(self.cores_per_sm) * self.clock_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_totals_match_paper() {
+        let g = GpuSpec::titan_x();
+        assert_eq!(g.total_cores(), 3072);
+        assert_eq!(g.max_resident_warps(), 1536);
+        assert_eq!(g.issue_width(), 4);
+    }
+
+    #[test]
+    fn paper_section2_occupancy_examples() {
+        let g = GpuSpec::titan_x();
+        // One 256-thread (8-warp) task alone: 0.52 %.
+        let one_task = g.occupancy(8) * 100.0;
+        assert!((one_task - 0.52).abs() < 0.01, "got {one_task}");
+        // 32 such tasks under HyperQ: 16.67 %.
+        let hyperq = g.occupancy(8 * 32) * 100.0;
+        assert!((hyperq - 16.67).abs() < 0.01, "got {hyperq}");
+    }
+
+    #[test]
+    fn k40_is_kepler_shaped() {
+        let g = GpuSpec::tesla_k40();
+        assert_eq!(g.total_cores(), 2880);
+        assert_eq!(g.max_tbs_per_sm, 16);
+        assert_eq!(g.issue_width(), 6);
+    }
+
+    #[test]
+    fn peak_throughput() {
+        let g = GpuSpec::titan_x();
+        assert_eq!(g.sm_peak_ops_per_sec(), 128e9);
+    }
+}

@@ -1,0 +1,960 @@
+//! The GPU device: resource accounting, the hardware threadblock
+//! dispatcher, kernel-launch machinery, and the event loop.
+//!
+//! Two execution paths coexist, mirroring the paper's world:
+//!
+//! * **Native kernels** ([`GpuDevice::launch_kernel`]): the hardware work
+//!   distributor places threadblocks on SMMs subject to warp-slot, thread,
+//!   TB-slot, register, and shared-memory limits, with at most
+//!   `max_concurrent_kernels` kernels in flight (the HyperQ cap). Resources
+//!   are freed at *threadblock* granularity — a new TB cannot launch until a
+//!   whole resident TB retires (paper §6.4) — unless
+//!   [`DeviceConfig::free_warps_individually`] is set (an ablation of
+//!   Pagoda's warp-level freeing applied to the hardware path).
+//!
+//! * **Persistent kernels** ([`GpuDevice::launch_persistent`]): the
+//!   MasterKernel path. Threadblocks are placed once and never retire; their
+//!   warps start idle and receive work dynamically via
+//!   [`GpuDevice::assign_warp`] — this is how Pagoda's executor warps run
+//!   task work and how its scheduler warps are charged for scheduling
+//!   cycles.
+//!
+//! The device is driven by [`GpuDevice::step`], which delivers batches of
+//! [`Notify`] events to the owning runtime in deterministic order.
+
+use std::collections::VecDeque;
+
+use desim::{Dur, Engine, EventKey, SimTime};
+use gpu_arch::{GpuSpec, LaunchError, TaskShape};
+
+use crate::exec::{ExecState, GroupId, WarpHandle};
+use crate::work::{KernelDesc, WarpWork};
+
+/// Tag bit marking device-internal (native-TB) warp assignments. External
+/// tags passed to [`GpuDevice::assign_warp`] must stay below this.
+const NATIVE_BIT: u64 = 1 << 63;
+
+/// Externally visible simulation events, delivered by [`GpuDevice::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notify {
+    /// A warp finished an assignment made with [`GpuDevice::assign_warp`].
+    WarpDone {
+        /// The warp that completed.
+        warp: WarpHandle,
+        /// The tag given at assignment.
+        tag: u64,
+    },
+    /// A native kernel's last threadblock retired.
+    KernelDone {
+        /// The tag from its [`KernelDesc`].
+        tag: u64,
+    },
+    /// A host-scheduled timer ([`GpuDevice::schedule_host`]).
+    Host(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    SmWake { sm: u32, gen: u64 },
+    LaunchIssued { kid: u32 },
+    Drain,
+    Host(u64),
+}
+
+/// Device configuration: the machine plus front-end behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// The hardware.
+    pub spec: GpuSpec,
+    /// Concurrent-kernel cap; defaults to `spec.num_hw_queues` (HyperQ 32).
+    pub max_concurrent_kernels: u32,
+    /// Serialized per-kernel launch processing cost in the grid management
+    /// unit (driver + front-end). With tens of thousands of one-task
+    /// kernels this is a first-order cost for the HyperQ baseline.
+    pub launch_issue_cost: Dur,
+    /// Free a native TB's warp slots as each warp retires instead of when
+    /// the whole TB retires. Hardware does not do this; Pagoda does. Used
+    /// by the §6.4 ablation.
+    pub free_warps_individually: bool,
+}
+
+impl DeviceConfig {
+    /// Default configuration for a given machine.
+    pub fn new(spec: GpuSpec) -> Self {
+        let q = spec.num_hw_queues;
+        DeviceConfig {
+            spec,
+            max_concurrent_kernels: q,
+            // Driver + grid-management-unit processing per kernel launch.
+            // Measured end-to-end launch overheads on Maxwell-era CUDA sit
+            // at 3-10 µs; narrow-task workloads hit the pipelined floor.
+            launch_issue_cost: Dur::from_ns(3000),
+            free_warps_individually: false,
+        }
+    }
+
+    /// The paper's evaluation device.
+    pub fn titan_x() -> Self {
+        Self::new(GpuSpec::titan_x())
+    }
+}
+
+/// Per-SMM free-resource counters.
+#[derive(Debug, Clone, Copy)]
+struct SmRes {
+    warps: u32,
+    threads: u32,
+    tbs: u32,
+    regs: u32,
+    smem: u32,
+}
+
+/// Cached per-TB resource footprint of a kernel.
+#[derive(Debug, Clone, Copy)]
+struct Footprint {
+    warps: u32,
+    threads: u32,
+    regs: u32,
+    smem: u32,
+}
+
+#[derive(Debug)]
+struct KernelCtx {
+    desc: KernelDesc,
+    foot: Footprint,
+    next_tb: usize,
+    retired_tbs: u32,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct TbCtx {
+    kid: u32,
+    sm: u32,
+    warps: Vec<WarpHandle>,
+    group: GroupId,
+    done_warps: u32,
+    /// Warp slots already returned via individual freeing.
+    warps_prefreed: u32,
+    /// Threads already returned via individual freeing.
+    threads_prefreed: u32,
+    /// Registers already returned via individual freeing.
+    regs_prefreed: u32,
+    retired: bool,
+}
+
+/// A placed persistent threadblock (one Pagoda MTB).
+#[derive(Debug, Clone)]
+pub struct PersistentTb {
+    /// The SMM it resides on.
+    pub sm: u32,
+    /// Its warps, in warp-index order; all start idle.
+    pub warps: Vec<WarpHandle>,
+}
+
+/// Device-level counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeviceStats {
+    /// Native kernels launched.
+    pub kernels_launched: u64,
+    /// Native threadblocks placed.
+    pub tbs_placed: u64,
+    /// ∫ resident warps dt (warp·ps).
+    pub resident_warp_ps: f64,
+    /// ∫ running warps dt (warp·ps) — from the execution engine.
+    pub running_warp_ps: f64,
+    /// Time with ≥1 running warp anywhere, summed per SMM (warp·ps
+    /// granularity: each SMM contributes its own busy time).
+    pub busy_ps: u64,
+}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct GpuDevice {
+    cfg: DeviceConfig,
+    engine: Engine<Ev>,
+    exec: ExecState,
+    sm_res: Vec<SmRes>,
+    kernels: Vec<KernelCtx>,
+    tbs: Vec<TbCtx>,
+    /// Active (placing/executing) kernel ids in launch order.
+    active: Vec<u32>,
+    /// Issued kernels waiting for a free concurrency slot.
+    waiting: VecDeque<u32>,
+    /// Launch front-end serialization point.
+    next_launch_free: SimTime,
+    /// Resident-warp integral bookkeeping.
+    resident_count: u32,
+    resident_integral: f64,
+    last_resident_update: SimTime,
+    kernels_launched: u64,
+    tbs_placed: u64,
+    drain_pending: bool,
+}
+
+impl GpuDevice {
+    /// Creates a device.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let spec = &cfg.spec;
+        let sm_res = (0..spec.num_sms)
+            .map(|_| SmRes {
+                warps: spec.max_warps_per_sm,
+                threads: spec.max_threads_per_sm,
+                tbs: spec.max_tbs_per_sm,
+                regs: spec.regs_per_sm,
+                smem: spec.smem_per_sm,
+            })
+            .collect();
+        let exec = ExecState::new(spec);
+        GpuDevice {
+            cfg,
+            engine: Engine::new(),
+            exec,
+            sm_res,
+            kernels: Vec::new(),
+            tbs: Vec::new(),
+            active: Vec::new(),
+            waiting: VecDeque::new(),
+            next_launch_free: SimTime::ZERO,
+            resident_count: 0,
+            resident_integral: 0.0,
+            last_resident_update: SimTime::ZERO,
+            kernels_launched: 0,
+            tbs_placed: 0,
+            drain_pending: false,
+        }
+    }
+
+    /// A Titan X with default front-end parameters.
+    pub fn titan_x() -> Self {
+        Self::new(DeviceConfig::titan_x())
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.cfg.spec
+    }
+
+    // ------------------------------------------------------------------
+    // Native kernel path
+    // ------------------------------------------------------------------
+
+    /// Launches a native kernel. The launch front-end serializes launches
+    /// (`launch_issue_cost` each); once issued, the kernel waits for a
+    /// concurrency slot and its TBs are then placed as resources permit.
+    /// Completion is announced via [`Notify::KernelDone`] with `desc.tag`.
+    pub fn launch_kernel(&mut self, desc: KernelDesc) -> Result<(), LaunchError> {
+        self.cfg.spec.occupancy_of(&desc.shape)?; // also proves ≥1 TB fits
+        let foot = self.footprint(&desc.shape);
+        let kid = self.kernels.len() as u32;
+        self.kernels.push(KernelCtx {
+            desc,
+            foot,
+            next_tb: 0,
+            retired_tbs: 0,
+            done: false,
+        });
+        self.kernels_launched += 1;
+        let issue_at = self.now().max(self.next_launch_free) + self.cfg.launch_issue_cost;
+        self.next_launch_free = issue_at;
+        self.engine.schedule(issue_at, Ev::LaunchIssued { kid });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent (MasterKernel) path
+    // ------------------------------------------------------------------
+
+    /// Places every threadblock of a persistent kernel immediately. Fails
+    /// if the full grid cannot be resident at once (a persistent kernel
+    /// must own its resources for its lifetime).
+    ///
+    /// Returned TBs never retire; their warps are idle until given work via
+    /// [`GpuDevice::assign_warp`].
+    pub fn launch_persistent(
+        &mut self,
+        shape: TaskShape,
+    ) -> Result<Vec<PersistentTb>, LaunchError> {
+        self.cfg.spec.validate(&shape)?;
+        let foot = self.footprint(&shape);
+        // Feasibility check before mutating anything.
+        {
+            let mut free: Vec<SmRes> = self.sm_res.clone();
+            for _ in 0..shape.num_tbs {
+                let Some(sm) = Self::pick_sm(&free, &foot) else {
+                    return Err(LaunchError::SmemPerBlockTooLarge {
+                        requested: foot.smem,
+                        max: 0, // grid does not fit resident; see docs
+                    });
+                };
+                Self::take(&mut free[sm], &foot);
+            }
+        }
+        let now = self.now();
+        let mut out = Vec::with_capacity(shape.num_tbs as usize);
+        for _ in 0..shape.num_tbs {
+            let sm = Self::pick_sm(&self.sm_res, &foot).expect("checked above") as u32;
+            Self::take(&mut self.sm_res[sm as usize], &foot);
+            let warps = (0..shape.warps_per_tb())
+                .map(|_| self.exec.create_warp(sm))
+                .collect::<Vec<_>>();
+            self.add_resident(now, shape.warps_per_tb() as i64);
+            out.push(PersistentTb { sm, warps });
+        }
+        Ok(out)
+    }
+
+    /// Assigns work to an idle (persistent-kernel) warp. Completion is
+    /// announced via [`Notify::WarpDone`] with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `tag` has the reserved top bit set, the warp is retired,
+    /// or it already has work.
+    pub fn assign_warp(&mut self, w: WarpHandle, work: WarpWork, tag: u64) {
+        assert_eq!(tag & NATIVE_BIT, 0, "tag uses reserved bit");
+        let now = self.now();
+        let sm = self.exec.warp_sm(w);
+        self.exec.advance_sm(sm, now);
+        self.exec.assign(now, w, work, tag);
+        self.reschedule_sm(sm, now);
+        self.request_drain();
+    }
+
+    /// Creates a barrier group over persistent warps (a Pagoda task
+    /// sub-threadblock). All members must be on one SMM.
+    pub fn create_group(&mut self, members: &[WarpHandle]) -> GroupId {
+        self.exec.create_group(members)
+    }
+
+    /// Releases a barrier group once all members finished.
+    pub fn release_group(&mut self, g: GroupId) {
+        self.exec.release_group(g);
+    }
+
+    // ------------------------------------------------------------------
+    // Host timers
+    // ------------------------------------------------------------------
+
+    /// Schedules [`Notify::Host`]`(tag)` at absolute time `at`.
+    pub fn schedule_host(&mut self, at: SimTime, tag: u64) -> EventKey {
+        self.engine.schedule(at, Ev::Host(tag))
+    }
+
+    /// Cancels a host timer.
+    pub fn cancel_host(&mut self, key: EventKey) -> bool {
+        self.engine.cancel(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Advances the simulation to the next instant at which something
+    /// externally visible happens, returning the notifications of that
+    /// instant. Returns `None` when the simulation is quiescent.
+    pub fn step(&mut self) -> Option<(SimTime, Vec<Notify>)> {
+        self.step_impl(None)
+    }
+
+    /// Like [`GpuDevice::step`], but refuses to process any event scheduled
+    /// after `bound`. Used by host-side runtimes to co-simulate a host
+    /// timeline: the device may never run ahead of the host instant being
+    /// modelled.
+    pub fn step_bounded(&mut self, bound: SimTime) -> Option<(SimTime, Vec<Notify>)> {
+        self.step_impl(Some(bound))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.engine.peek_time()
+    }
+
+    fn step_impl(&mut self, bound: Option<SimTime>) -> Option<(SimTime, Vec<Notify>)> {
+        loop {
+            if let Some(b) = bound {
+                match self.engine.peek_time() {
+                    Some(t) if t <= b => {}
+                    _ => return None,
+                }
+            }
+            let (t, ev) = self.engine.pop()?;
+            let mut out = Vec::new();
+            match ev {
+                Ev::Host(tag) => out.push(Notify::Host(tag)),
+                Ev::Drain => {
+                    self.drain_pending = false;
+                    self.settle(t, &mut out);
+                }
+                Ev::LaunchIssued { kid } => {
+                    self.waiting.push_back(kid);
+                    self.settle(t, &mut out);
+                }
+                Ev::SmWake { sm, gen } => {
+                    if gen != self.exec.gen(sm) {
+                        continue; // superseded prediction
+                    }
+                    self.exec.advance_sm(sm, t);
+                    self.exec.process_completions(sm, t);
+                    self.settle(t, &mut out);
+                    self.reschedule_sm(sm, t);
+                }
+            }
+            if !out.is_empty() {
+                return Some((t, out));
+            }
+        }
+    }
+
+    /// Runs until quiescent, invoking `f` for each notification batch.
+    pub fn run<F: FnMut(&mut GpuDevice, SimTime, Vec<Notify>)>(&mut self, mut f: F) {
+        while let Some((t, batch)) = self.step() {
+            f(self, t, batch);
+        }
+    }
+
+    /// Device counters, with utilization integrals current as of `now`.
+    pub fn stats(&mut self) -> DeviceStats {
+        let now = self.now();
+        self.add_resident(now, 0); // flush integral
+        let ex = self.exec.total_stats();
+        DeviceStats {
+            kernels_launched: self.kernels_launched,
+            tbs_placed: self.tbs_placed,
+            resident_warp_ps: self.resident_integral,
+            running_warp_ps: ex.running_warp_ps,
+            busy_ps: ex.busy_ps,
+        }
+    }
+
+    /// Average *running* occupancy over `[0, now]`: mean fraction of the
+    /// device's warp slots doing useful work.
+    pub fn avg_running_occupancy(&mut self) -> f64 {
+        let now = self.now().as_ps();
+        if now == 0 {
+            return 0.0;
+        }
+        let s = self.stats();
+        s.running_warp_ps / (self.cfg.spec.max_resident_warps() as f64 * now as f64)
+    }
+
+    /// Average *resident* occupancy over `[0, now]` — the CUDA notion of
+    /// occupancy (warps holding slots, running or not).
+    pub fn avg_resident_occupancy(&mut self) -> f64 {
+        let now = self.now().as_ps();
+        if now == 0 {
+            return 0.0;
+        }
+        let s = self.stats();
+        s.resident_warp_ps / (self.cfg.spec.max_resident_warps() as f64 * now as f64)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn footprint(&self, shape: &TaskShape) -> Footprint {
+        Footprint {
+            warps: shape.warps_per_tb(),
+            threads: shape.threads_per_tb,
+            regs: self.cfg.spec.regs_per_tb(shape),
+            smem: self.cfg.spec.smem_per_tb(shape),
+        }
+    }
+
+    fn pick_sm(res: &[SmRes], f: &Footprint) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, r) in res.iter().enumerate() {
+            if r.warps >= f.warps
+                && r.threads >= f.threads
+                && r.tbs >= 1
+                && r.regs >= f.regs
+                && r.smem >= f.smem
+            {
+                best = match best {
+                    Some(b) if res[b].warps >= r.warps => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        best
+    }
+
+    fn take(r: &mut SmRes, f: &Footprint) {
+        r.warps -= f.warps;
+        r.threads -= f.threads;
+        r.tbs -= 1;
+        r.regs -= f.regs;
+        r.smem -= f.smem;
+    }
+
+    fn give(r: &mut SmRes, f: &Footprint, pre: (u32, u32, u32)) {
+        let (warps_freed, threads_freed, regs_freed) = pre;
+        r.warps += f.warps - warps_freed;
+        r.threads += f.threads - threads_freed;
+        r.tbs += 1;
+        r.regs += f.regs - regs_freed;
+        r.smem += f.smem;
+    }
+
+    fn add_resident(&mut self, now: SimTime, delta: i64) {
+        let dt = now.saturating_since(self.last_resident_update).as_ps();
+        self.resident_integral += self.resident_count as f64 * dt as f64;
+        self.last_resident_update = now;
+        self.resident_count = (self.resident_count as i64 + delta) as u32;
+    }
+
+    fn request_drain(&mut self) {
+        if !self.drain_pending {
+            self.drain_pending = true;
+            self.engine.schedule_now(Ev::Drain);
+        }
+    }
+
+    fn reschedule_sm(&mut self, sm: u32, now: SimTime) {
+        let gen = self.exec.bump_gen(sm);
+        if let Some(t) = self.exec.next_completion(sm, now) {
+            self.engine.schedule(t, Ev::SmWake { sm, gen });
+        }
+    }
+
+    /// Promotes waiting kernels, places TBs, and drains finished-warp
+    /// events, iterating to a fixed point. `out` receives external
+    /// notifications. Touched SMMs get their wake events re-predicted.
+    fn settle(&mut self, now: SimTime, out: &mut Vec<Notify>) {
+        let mut dirty = vec![false; self.sm_res.len()];
+        loop {
+            while self.active.len() < self.cfg.max_concurrent_kernels as usize {
+                match self.waiting.pop_front() {
+                    Some(kid) => self.active.push(kid),
+                    None => break,
+                }
+            }
+            let placed = self.try_place(now, &mut dirty);
+            let finished = self.exec.drain_finished();
+            if !placed && finished.is_empty() {
+                break;
+            }
+            for (w, tag) in finished {
+                self.one_finished(now, w, tag, out, &mut dirty);
+            }
+        }
+        for (sm, d) in dirty.into_iter().enumerate() {
+            if d {
+                self.reschedule_sm(sm as u32, now);
+            }
+        }
+    }
+
+    /// One placement sweep over active kernels. Returns whether any TB was
+    /// placed.
+    fn try_place(&mut self, now: SimTime, dirty: &mut [bool]) -> bool {
+        let mut placed = false;
+        for idx in 0..self.active.len() {
+            let kid = self.active[idx];
+            loop {
+                let (foot, tb_index, total) = {
+                    let k = &self.kernels[kid as usize];
+                    (k.foot, k.next_tb, k.desc.blocks.len())
+                };
+                if tb_index >= total {
+                    break;
+                }
+                let Some(sm) = Self::pick_sm(&self.sm_res, &foot) else {
+                    break;
+                };
+                self.place_tb(now, kid, sm as u32);
+                dirty[sm] = true;
+                placed = true;
+            }
+        }
+        placed
+    }
+
+    fn place_tb(&mut self, now: SimTime, kid: u32, sm: u32) {
+        let (foot, tb_index) = {
+            let k = &mut self.kernels[kid as usize];
+            let i = k.next_tb;
+            k.next_tb += 1;
+            (k.foot, i)
+        };
+        Self::take(&mut self.sm_res[sm as usize], &foot);
+        let warps: Vec<WarpHandle> = (0..foot.warps).map(|_| self.exec.create_warp(sm)).collect();
+        let group = self.exec.create_group(&warps);
+        self.add_resident(now, foot.warps as i64);
+        let tb_id = self.tbs.len() as u32;
+        self.tbs.push(TbCtx {
+            kid,
+            sm,
+            warps: warps.clone(),
+            group,
+            done_warps: 0,
+            warps_prefreed: 0,
+            threads_prefreed: 0,
+            regs_prefreed: 0,
+            retired: false,
+        });
+        self.tbs_placed += 1;
+        self.exec.advance_sm(sm, now);
+        let block = self.kernels[kid as usize].desc.blocks[tb_index].clone();
+        for (w, work) in warps.iter().zip(block.warps().iter().cloned()) {
+            self.exec.assign(now, *w, work, NATIVE_BIT | u64::from(tb_id));
+        }
+    }
+
+    fn one_finished(
+        &mut self,
+        now: SimTime,
+        warp: WarpHandle,
+        tag: u64,
+        out: &mut Vec<Notify>,
+        dirty: &mut [bool],
+    ) {
+        if tag & NATIVE_BIT == 0 {
+            out.push(Notify::WarpDone { warp, tag });
+            return;
+        }
+        let tb_id = (tag & !NATIVE_BIT) as usize;
+        let (sm, done, total, kid) = {
+            let tb = &mut self.tbs[tb_id];
+            tb.done_warps += 1;
+            (tb.kid, tb.done_warps, tb.warps.len() as u32, tb.kid)
+        };
+        let _ = sm;
+        if self.cfg.free_warps_individually && done < total {
+            // Pagoda-style early release (§6.4 ablation): the warp slot and
+            // its threads return to the pool before the TB retires, so a
+            // queued TB can launch while this one's stragglers run. Regs,
+            // shared memory, and the TB slot still wait for full retire.
+            let foot = self.kernels[self.tbs[tb_id].kid as usize].foot;
+            let tb = &mut self.tbs[tb_id];
+            let tb_sm = tb.sm as usize;
+            let threads = (foot.threads - tb.threads_prefreed).min(32);
+            let regs = (foot.regs / foot.warps).min(foot.regs - tb.regs_prefreed);
+            tb.warps_prefreed += 1;
+            tb.threads_prefreed += threads;
+            tb.regs_prefreed += regs;
+            self.sm_res[tb_sm].warps += 1;
+            self.sm_res[tb_sm].threads += threads;
+            self.sm_res[tb_sm].regs += regs;
+            self.add_resident(now, -1);
+            dirty[tb_sm] = true;
+        }
+        if done == total {
+            self.retire_tb(now, tb_id, out, dirty);
+            let _ = kid;
+        }
+    }
+
+    fn retire_tb(&mut self, now: SimTime, tb_id: usize, out: &mut Vec<Notify>, dirty: &mut [bool]) {
+        let (kid, sm, group, warps, pre) = {
+            let tb = &mut self.tbs[tb_id];
+            assert!(!tb.retired, "double TB retire");
+            tb.retired = true;
+            (
+                tb.kid,
+                tb.sm,
+                tb.group,
+                std::mem::take(&mut tb.warps),
+                (tb.warps_prefreed, tb.threads_prefreed, tb.regs_prefreed),
+            )
+        };
+        let foot = self.kernels[kid as usize].foot;
+        Self::give(&mut self.sm_res[sm as usize], &foot, pre);
+        self.add_resident(now, -((foot.warps - pre.0) as i64));
+        self.exec.release_group(group);
+        for w in warps {
+            self.exec.retire_warp(w);
+        }
+        dirty[sm as usize] = true;
+        let k = &mut self.kernels[kid as usize];
+        k.retired_tbs += 1;
+        if k.retired_tbs as usize == k.desc.blocks.len() && !k.done {
+            k.done = true;
+            let tag = k.desc.tag;
+            out.push(Notify::KernelDone { tag });
+            self.active.retain(|&a| a != kid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{BlockWork, WarpWork};
+
+    fn quiet_cfg() -> DeviceConfig {
+        let mut c = DeviceConfig::titan_x();
+        c.launch_issue_cost = Dur::from_ps(0);
+        c
+    }
+
+    fn shape(threads: u32, tbs: u32) -> TaskShape {
+        TaskShape {
+            threads_per_tb: threads,
+            num_tbs: tbs,
+            regs_per_thread: 32,
+            smem_per_tb: 0,
+        }
+    }
+
+    /// Drains the device, returning kernel completions as (tag, time).
+    fn run_all(dev: &mut GpuDevice) -> Vec<(u64, SimTime)> {
+        let mut done = Vec::new();
+        while let Some((t, batch)) = dev.step() {
+            for n in batch {
+                if let Notify::KernelDone { tag } = n {
+                    done.push((tag, t));
+                }
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_kernel_runs_to_completion() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        // 1 TB x 1 warp, 32000 ti @ CPI 4 -> 4 us.
+        let k = KernelDesc::uniform(shape(32, 1), WarpWork::compute(32_000, 4.0), 1);
+        dev.launch_kernel(k).unwrap();
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, 1);
+        assert!((done[0].1.as_us_f64() - 4.0).abs() < 0.01, "{}", done[0].1);
+    }
+
+    #[test]
+    fn launch_cost_serializes_front_end() {
+        let mut cfg = quiet_cfg();
+        cfg.launch_issue_cost = Dur::from_us(2);
+        let mut dev = GpuDevice::new(cfg);
+        for i in 0..4 {
+            let k = KernelDesc::uniform(shape(32, 1), WarpWork::compute(0, 1.0), i);
+            dev.launch_kernel(k).unwrap();
+        }
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 4);
+        // Zero work: completion at issue time = 2, 4, 6, 8 us.
+        let times: Vec<f64> = done.iter().map(|(_, t)| t.as_us_f64()).collect();
+        assert_eq!(times, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn concurrency_cap_enforced() {
+        // 33 one-TB kernels of 64 warps... each kernel occupies 2048
+        // threads = 1 full SM's thread budget? Use 1024-thread TBs: 32
+        // warps. 24 SMs hold 48 such TBs, so resources allow all 33; the
+        // HyperQ cap (set to 2) must serialize instead.
+        let mut cfg = quiet_cfg();
+        cfg.max_concurrent_kernels = 2;
+        let mut dev = GpuDevice::new(cfg);
+        for i in 0..4 {
+            let k = KernelDesc::uniform(shape(1024, 1), WarpWork::compute(32_000, 1.0), i);
+            dev.launch_kernel(k).unwrap();
+        }
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 4);
+        // Each kernel: 32 warps on an SM, issue-bound? 32 warps*32 lanes =
+        // 1024 = 8x the 128 lanes -> per-warp rate 128e9/32 = 4e9;
+        // 32000/4e9 = 8us. First two finish at 8us, next two at 16us.
+        let t: Vec<f64> = done.iter().map(|(_, t)| t.as_us_f64()).collect();
+        assert!((t[0] - 8.0).abs() < 0.1 && (t[1] - 8.0).abs() < 0.1, "{t:?}");
+        assert!((t[2] - 16.0).abs() < 0.1 && (t[3] - 16.0).abs() < 0.1, "{t:?}");
+    }
+
+    #[test]
+    fn tb_granularity_blocks_new_tb_until_whole_tb_retires() {
+        // SM capacity trick: kernel A has TBs of 1024 threads with one
+        // short warp and 31 long warps... verify that a second TB cannot
+        // start until the whole first TB ends when resources are exhausted.
+        let mut cfg = quiet_cfg();
+        cfg.spec.num_sms = 1; // single-SM device for determinism
+        let mut dev = GpuDevice::new(cfg);
+        // Each TB: 32 warps (1024 threads). SM holds 2 TBs (2048 threads).
+        // 3 TBs total: third must wait for a full TB retire.
+        let mut warps = vec![WarpWork::compute(32_000, 1.0); 31];
+        warps.push(WarpWork::compute(320_000, 1.0)); // one straggler warp
+        let block = BlockWork::new(warps);
+        let k = KernelDesc::new(shape(1024, 3), vec![block.clone(); 3], 7);
+        dev.launch_kernel(k).unwrap();
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 1);
+        // Straggler dominates; with TB-granularity the third TB starts only
+        // after a full TB (straggler included) retires.
+        // Phase 1: TBs 0,1 resident (64 warps). Short warps finish, then
+        // stragglers run. Completion must be strictly later than the
+        // straggler-only bound of one TB.
+        let t_end = done[0].1;
+        assert!(t_end.as_us_f64() > 20.0, "end {}us", t_end.as_us_f64());
+    }
+
+    #[test]
+    fn warp_granularity_frees_slots_earlier() {
+        let mk = |free_individually: bool| {
+            let mut cfg = quiet_cfg();
+            cfg.spec.num_sms = 1;
+            cfg.free_warps_individually = free_individually;
+            let mut dev = GpuDevice::new(cfg);
+            // TBs of 64 warps? max per TB is 32 warps. Use 32-warp TBs with
+            // one straggler each; 4 TBs; SM fits 2 at a time by threads.
+            let mut warps = vec![WarpWork::compute(3_200, 1.0); 31];
+            warps.push(WarpWork::compute(3_200_000, 1.0));
+            let block = BlockWork::new(warps);
+            let k = KernelDesc::new(shape(1024, 4), vec![block.clone(); 4], 1);
+            dev.launch_kernel(k).unwrap();
+            let done = run_all(&mut dev);
+            done[0].1
+        };
+        let tb_gran = mk(false);
+        let warp_gran = mk(true);
+        // Early warp freeing can only help (more issue share for
+        // stragglers? no—slots don't change rate; but TB placement is
+        // warp-slot limited? threads still held). With thread limits held,
+        // times are equal; assert no regression.
+        assert!(warp_gran <= tb_gran);
+    }
+
+    #[test]
+    fn persistent_kernel_occupies_and_executes_assigned_work() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        // The MasterKernel shape: 48 TBs x 1024 threads, 32 KB smem.
+        let mk = TaskShape {
+            threads_per_tb: 1024,
+            num_tbs: 48,
+            regs_per_thread: 32,
+            smem_per_tb: 32 * 1024,
+        };
+        let tbs = dev.launch_persistent(mk).unwrap();
+        assert_eq!(tbs.len(), 48);
+        // Two MTBs per SMM.
+        let mut per_sm = vec![0; 24];
+        for tb in &tbs {
+            per_sm[tb.sm as usize] += 1;
+        }
+        assert!(per_sm.iter().all(|&c| c == 2), "{per_sm:?}");
+
+        // Assign work to one executor warp and watch it complete.
+        let w = tbs[0].warps[1];
+        dev.assign_warp(w, WarpWork::compute(32_000, 4.0), 42);
+        let mut seen = Vec::new();
+        while let Some((t, batch)) = dev.step() {
+            for n in batch {
+                if let Notify::WarpDone { tag, .. } = n {
+                    seen.push((tag, t));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 42);
+        assert!((seen[0].1.as_us_f64() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn persistent_grid_that_cannot_fit_fails() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        let mk = TaskShape {
+            threads_per_tb: 1024,
+            num_tbs: 49, // one more than fits
+            regs_per_thread: 32,
+            smem_per_tb: 32 * 1024,
+        };
+        assert!(dev.launch_persistent(mk).is_err());
+    }
+
+    #[test]
+    fn native_and_persistent_share_the_machine() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        // Persistent kernel takes half of each SM (1 TB of 32 warps per SM).
+        let mk = TaskShape {
+            threads_per_tb: 1024,
+            num_tbs: 24,
+            regs_per_thread: 32,
+            smem_per_tb: 0,
+        };
+        dev.launch_persistent(mk).unwrap();
+        // Native kernel of 24 TBs fits in the other half.
+        let k = KernelDesc::uniform(shape(1024, 24), WarpWork::compute(32_000, 1.0), 5);
+        dev.launch_kernel(k).unwrap();
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn host_timers_fire_in_order() {
+        let mut dev = GpuDevice::titan_x();
+        dev.schedule_host(SimTime::from_us(10), 1);
+        let key = dev.schedule_host(SimTime::from_us(5), 2);
+        dev.schedule_host(SimTime::from_us(1), 3);
+        dev.cancel_host(key);
+        let mut seen = Vec::new();
+        while let Some((_, batch)) = dev.step() {
+            for n in batch {
+                if let Notify::Host(tag) = n {
+                    seen.push(tag);
+                }
+            }
+        }
+        assert_eq!(seen, vec![3, 1]);
+    }
+
+    #[test]
+    fn occupancy_stats_reflect_residency() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        let mk = TaskShape {
+            threads_per_tb: 1024,
+            num_tbs: 48,
+            regs_per_thread: 32,
+            smem_per_tb: 32 * 1024,
+        };
+        let tbs = dev.launch_persistent(mk).unwrap();
+        let w = tbs[0].warps[0];
+        dev.assign_warp(w, WarpWork::compute(32_000, 4.0), 1);
+        while dev.step().is_some() {}
+        // All 1536 warps resident the whole time.
+        assert!((dev.avg_resident_occupancy() - 1.0).abs() < 1e-9);
+        // Only one warp ever ran.
+        let run = dev.avg_running_occupancy();
+        assert!((run - 1.0 / 1536.0).abs() < 1e-6, "running occ {run}");
+    }
+
+    #[test]
+    fn invalid_kernel_rejected() {
+        let mut dev = GpuDevice::titan_x();
+        let bad = TaskShape {
+            threads_per_tb: 64,
+            num_tbs: 1,
+            regs_per_thread: 32,
+            smem_per_tb: 100 * 1024,
+        };
+        let k = KernelDesc::uniform(
+            TaskShape { smem_per_tb: 0, ..bad },
+            WarpWork::compute(1, 1.0),
+            0,
+        );
+        // Rebuild with the bad smem but valid work shape:
+        let k = KernelDesc { shape: bad, ..k };
+        assert!(dev.launch_kernel(k).is_err());
+    }
+
+    #[test]
+    fn many_narrow_kernels_fill_device_breadth_first() {
+        // 48 kernels x 1 TB x 8 warps: all fit simultaneously (8*48=384
+        // warps over 1536 slots); with cap 48 they run concurrently and all
+        // finish at the single-task time.
+        let mut cfg = quiet_cfg();
+        cfg.max_concurrent_kernels = 48;
+        let mut dev = GpuDevice::new(cfg);
+        for i in 0..48 {
+            let k = KernelDesc::uniform(shape(256, 1), WarpWork::compute(32_000, 4.0), i);
+            dev.launch_kernel(k).unwrap();
+        }
+        let done = run_all(&mut dev);
+        assert_eq!(done.len(), 48);
+        let last = done.last().unwrap().1;
+        assert!((last.as_us_f64() - 4.0).abs() < 0.05, "{}", last.as_us_f64());
+    }
+}

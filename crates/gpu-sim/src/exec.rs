@@ -1,0 +1,685 @@
+//! The processor-sharing warp execution engine.
+//!
+//! Each SMM executes its *running* warps under a bounded fair-share model.
+//! A warp alone on an SMM cannot issue faster than its own dependency/
+//! latency structure allows (one warp-instruction per `CPI` cycles); the SMM
+//! as a whole cannot issue more than `issue_width` warp-instructions per
+//! cycle. With `W` running warps, each executes at
+//!
+//! ```text
+//! rate = min( 32·f / CPI ,  issue_width·32·f / W )   thread-instr / s
+//! ```
+//!
+//! This is the minimal model that reproduces the paper's utilization story:
+//! a narrow task's few warps leave the SMM latency-bound (adding warps is
+//! free), while a full complement of 64 warps saturates issue bandwidth.
+//! Unused share of latency-bound warps is *not* redistributed to others —
+//! a deliberate simplification that slightly underestimates mixed-CPI
+//! throughput and affects all runtimes equally.
+//!
+//! Completion times are predicted per SMM and re-predicted whenever the
+//! running set changes (warp assigned, finished, blocked on or released
+//! from a barrier). Between events, remaining work decreases linearly, so
+//! prediction is exact.
+
+use desim::SimTime;
+use gpu_arch::{GpuSpec, WARP_SIZE};
+
+use crate::work::{Segment, WarpWork};
+
+/// Handle to a warp context. Stable for the warp's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WarpHandle(pub(crate) u32);
+
+/// Handle to a barrier group (the set of warps that synchronize together —
+/// a hardware threadblock, or a Pagoda task-threadblock inside an MTB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub(crate) u32);
+
+/// Remaining-work threshold below which a warp counts as finished
+/// (thread-instructions). Absorbs floating-point dust from rate arithmetic.
+const EPS: f64 = 1e-3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpState {
+    /// No assignment; consumes no issue bandwidth (an executor warp spinning
+    /// on its `exec` flag, or a retired-but-not-freed native warp).
+    Idle,
+    /// Executing a compute segment; member of the SMM running set.
+    Running,
+    /// Arrived at a barrier, waiting for the rest of its group.
+    AtBarrier,
+}
+
+#[derive(Debug)]
+struct WarpCtx {
+    sm: u32,
+    state: WarpState,
+    segments: Vec<Segment>,
+    /// Index of the current segment.
+    cur: usize,
+    /// Thread-instructions left in the current compute segment.
+    remaining: f64,
+    cpi: f64,
+    group: Option<GroupId>,
+    /// Caller correlation tag for the current assignment.
+    tag: u64,
+    /// Live (not retired).
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct GroupCtx {
+    members: Vec<WarpHandle>,
+    /// Members currently waiting at the barrier.
+    arrived: u32,
+    /// Members that have completed their current assignment.
+    finished: u32,
+    alive: bool,
+}
+
+#[derive(Debug, Default)]
+struct SmExec {
+    running: Vec<WarpHandle>,
+    last_advance: SimTime,
+    /// Generation counter: a wake event older than this is stale.
+    pub gen: u64,
+    /// Integral of |running| over time, warp·ps.
+    running_integral: f64,
+    /// Time with ≥1 running warp, ps.
+    busy_ps: u64,
+}
+
+/// Utilization integrals for one SMM (or summed over the device).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ExecStats {
+    /// ∫ |running warps| dt, in warp·picoseconds.
+    pub running_warp_ps: f64,
+    /// Time with at least one running warp, picoseconds.
+    pub busy_ps: u64,
+}
+
+/// All execution state: warp arena, barrier groups, per-SMM engines.
+#[derive(Debug)]
+pub struct ExecState {
+    warps: Vec<WarpCtx>,
+    groups: Vec<GroupCtx>,
+    sms: Vec<SmExec>,
+    clock_ghz: f64,
+    issue_width: u32,
+    /// Warps finished since the last [`ExecState::drain_finished`] call,
+    /// as `(warp, tag)` in completion order.
+    finished: Vec<(WarpHandle, u64)>,
+}
+
+impl ExecState {
+    pub fn new(spec: &GpuSpec) -> Self {
+        ExecState {
+            warps: Vec::new(),
+            groups: Vec::new(),
+            sms: (0..spec.num_sms).map(|_| SmExec::default()).collect(),
+            clock_ghz: spec.clock_ghz,
+            issue_width: spec.issue_width(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Creates an idle warp resident on `sm`.
+    pub fn create_warp(&mut self, sm: u32) -> WarpHandle {
+        assert!((sm as usize) < self.sms.len(), "SM index out of range");
+        let h = WarpHandle(self.warps.len() as u32);
+        self.warps.push(WarpCtx {
+            sm,
+            state: WarpState::Idle,
+            segments: Vec::new(),
+            cur: 0,
+            remaining: 0.0,
+            cpi: 1.0,
+            group: None,
+            tag: 0,
+            alive: true,
+        });
+        h
+    }
+
+    /// Retires a warp. It must be idle (hardware cannot reclaim a warp slot
+    /// mid-flight).
+    pub fn retire_warp(&mut self, w: WarpHandle) {
+        let ctx = &mut self.warps[w.0 as usize];
+        assert!(ctx.alive, "double retire of {w:?}");
+        assert_eq!(ctx.state, WarpState::Idle, "retiring a non-idle warp");
+        ctx.alive = false;
+        ctx.group = None;
+    }
+
+    /// SMM a warp resides on.
+    pub fn warp_sm(&self, w: WarpHandle) -> u32 {
+        self.warps[w.0 as usize].sm
+    }
+
+    /// Creates a barrier group over `members`. All members must reside on
+    /// the same SMM (groups model intra-threadblock synchronization).
+    pub fn create_group(&mut self, members: &[WarpHandle]) -> GroupId {
+        assert!(!members.is_empty(), "empty barrier group");
+        let sm = self.warps[members[0].0 as usize].sm;
+        for m in members {
+            let c = &self.warps[m.0 as usize];
+            assert!(c.alive, "group member {m:?} is retired");
+            assert_eq!(c.sm, sm, "barrier group spans SMMs");
+        }
+        let g = GroupId(self.groups.len() as u32);
+        self.groups.push(GroupCtx {
+            members: members.to_vec(),
+            arrived: 0,
+            finished: 0,
+            alive: true,
+        });
+        for m in members {
+            let c = &mut self.warps[m.0 as usize];
+            assert!(c.group.is_none(), "warp {m:?} already in a group");
+            c.group = Some(g);
+        }
+        g
+    }
+
+    /// Dissolves a group. Every member must have finished its assignment.
+    pub fn release_group(&mut self, g: GroupId) {
+        let ctx = &mut self.groups[g.0 as usize];
+        assert!(ctx.alive, "double release of {g:?}");
+        assert_eq!(
+            ctx.finished as usize,
+            ctx.members.len(),
+            "releasing group with unfinished members"
+        );
+        ctx.alive = false;
+        let members = std::mem::take(&mut ctx.members);
+        for m in members {
+            self.warps[m.0 as usize].group = None;
+        }
+    }
+
+    /// Assigns `work` to an idle warp at time `now`. Completion is reported
+    /// by [`ExecState::drain_finished`] with `tag`.
+    ///
+    /// The caller must have advanced the warp's SMM to `now` first (the
+    /// device layer does this); the assertion enforces it.
+    pub fn assign(&mut self, now: SimTime, w: WarpHandle, work: WarpWork, tag: u64) {
+        let ctx = &mut self.warps[w.0 as usize];
+        assert!(ctx.alive, "assigning to retired warp {w:?}");
+        assert_eq!(ctx.state, WarpState::Idle, "warp {w:?} already has work");
+        let sm = ctx.sm;
+        assert_eq!(
+            self.sms[sm as usize].last_advance, now,
+            "SM {sm} not advanced to now before assign"
+        );
+        if work.barrier_count() > 0 {
+            assert!(
+                ctx.group.is_some(),
+                "work with barriers assigned to warp {w:?} outside any group"
+            );
+        }
+        let ctx = &mut self.warps[w.0 as usize];
+        ctx.segments = work.segments;
+        ctx.cpi = work.cpi;
+        ctx.cur = 0;
+        ctx.remaining = 0.0;
+        ctx.tag = tag;
+        ctx.state = WarpState::Running; // provisional; step() settles it
+        self.sms[sm as usize].running.push(w);
+        // Enter the first segment (may immediately block or even finish).
+        self.settle(now, w);
+    }
+
+    /// Advances SMM `sm` to `now`, integrating work and utilization.
+    pub fn advance_sm(&mut self, sm: u32, now: SimTime) {
+        let sme = &mut self.sms[sm as usize];
+        let dt = now.saturating_since(sme.last_advance).as_ps();
+        if dt == 0 {
+            sme.last_advance = now;
+            return;
+        }
+        let nrun = sme.running.len();
+        sme.running_integral += nrun as f64 * dt as f64;
+        if nrun > 0 {
+            sme.busy_ps += dt;
+            let cap = self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz
+                / 1000.0
+                / nrun as f64;
+            let run = sme.running.clone();
+            for w in run {
+                let c = &mut self.warps[w.0 as usize];
+                let r_single = WARP_SIZE as f64 * self.clock_ghz / c.cpi / 1000.0;
+                let rate = r_single.min(cap);
+                c.remaining -= rate * dt as f64;
+            }
+        }
+        self.sms[sm as usize].last_advance = now;
+    }
+
+    /// After [`ExecState::advance_sm`], finishes every warp whose current
+    /// segment is exhausted, cascading through barrier releases. Finished
+    /// assignments are queued for [`ExecState::drain_finished`].
+    pub fn process_completions(&mut self, sm: u32, now: SimTime) {
+        debug_assert_eq!(self.sms[sm as usize].last_advance, now);
+        // Collect exhausted warps in deterministic (handle) order.
+        let mut exhausted: Vec<WarpHandle> = self.sms[sm as usize]
+            .running
+            .iter()
+            .copied()
+            .filter(|w| self.warps[w.0 as usize].remaining <= EPS)
+            .collect();
+        exhausted.sort();
+        for w in exhausted {
+            // The warp may have been re-settled by a cascade already.
+            if self.warps[w.0 as usize].state == WarpState::Running
+                && self.warps[w.0 as usize].remaining <= EPS
+            {
+                // `settle` removes the warp from the running set as part of
+                // whatever transition the next segment dictates.
+                self.warps[w.0 as usize].cur += 1;
+                self.settle(now, w);
+            }
+        }
+    }
+
+    /// Earliest predicted completion on `sm`, given the current running
+    /// set. `None` if nothing is running.
+    pub fn next_completion(&self, sm: u32, now: SimTime) -> Option<SimTime> {
+        let sme = &self.sms[sm as usize];
+        debug_assert_eq!(sme.last_advance, now);
+        let nrun = sme.running.len();
+        if nrun == 0 {
+            return None;
+        }
+        let cap =
+            self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz / 1000.0 / nrun as f64;
+        let mut best = f64::INFINITY;
+        for w in &sme.running {
+            let c = &self.warps[w.0 as usize];
+            let r_single = WARP_SIZE as f64 * self.clock_ghz / c.cpi / 1000.0;
+            let rate = r_single.min(cap);
+            let dt = (c.remaining.max(0.0)) / rate;
+            best = best.min(dt);
+        }
+        Some(now + desim::Dur::from_ps(best.ceil() as u64))
+    }
+
+    /// Number of running warps on `sm`.
+    pub fn sm_running(&self, sm: u32) -> u32 {
+        self.sms[sm as usize].running.len() as u32
+    }
+
+    /// Bumps and returns the wake-event generation for `sm`, invalidating
+    /// any previously scheduled wake.
+    pub fn bump_gen(&mut self, sm: u32) -> u64 {
+        let sme = &mut self.sms[sm as usize];
+        sme.gen += 1;
+        sme.gen
+    }
+
+    /// Current wake-event generation for `sm`.
+    pub fn gen(&self, sm: u32) -> u64 {
+        self.sms[sm as usize].gen
+    }
+
+    /// Takes the queue of `(warp, tag)` assignment completions.
+    pub fn drain_finished(&mut self) -> Vec<(WarpHandle, u64)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Utilization integrals for one SMM.
+    pub fn sm_stats(&self, sm: u32) -> ExecStats {
+        let sme = &self.sms[sm as usize];
+        ExecStats {
+            running_warp_ps: sme.running_integral,
+            busy_ps: sme.busy_ps,
+        }
+    }
+
+    /// Utilization integrals summed over the device.
+    pub fn total_stats(&self) -> ExecStats {
+        let mut t = ExecStats::default();
+        for sm in &self.sms {
+            t.running_warp_ps += sm.running_integral;
+            t.busy_ps += sm.busy_ps;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn leave_running(&mut self, w: WarpHandle) {
+        let sm = self.warps[w.0 as usize].sm;
+        let running = &mut self.sms[sm as usize].running;
+        let pos = running
+            .iter()
+            .position(|x| *x == w)
+            .expect("warp not in running set");
+        running.swap_remove(pos);
+    }
+
+    /// Places warp `w` (whose `cur` points at the segment to enter) into
+    /// the right state, cascading zero-length segments, barrier arrivals,
+    /// and assignment completion. The warp is *not* in the running set on
+    /// entry unless freshly assigned.
+    fn settle(&mut self, now: SimTime, w: WarpHandle) {
+        loop {
+            let ctx = &mut self.warps[w.0 as usize];
+            match ctx.segments.get(ctx.cur).copied() {
+                Some(Segment::Compute(n)) if n > 0 => {
+                    ctx.remaining = n as f64;
+                    if ctx.state != WarpState::Running {
+                        ctx.state = WarpState::Running;
+                        let sm = ctx.sm;
+                        self.sms[sm as usize].running.push(w);
+                    }
+                    return;
+                }
+                Some(Segment::Compute(_)) => {
+                    // zero-length: skip
+                    ctx.cur += 1;
+                }
+                Some(Segment::Barrier) => {
+                    let g = ctx.group.expect("barrier without group");
+                    if ctx.state == WarpState::Running {
+                        ctx.state = WarpState::AtBarrier;
+                        self.leave_running(w);
+                    } else {
+                        ctx.state = WarpState::AtBarrier;
+                    }
+                    self.groups[g.0 as usize].arrived += 1;
+                    self.maybe_release_barrier(now, g);
+                    return;
+                }
+                None => {
+                    // Assignment complete.
+                    if ctx.state == WarpState::Running {
+                        self.leave_running(w);
+                    }
+                    let ctx = &mut self.warps[w.0 as usize];
+                    ctx.state = WarpState::Idle;
+                    let tag = ctx.tag;
+                    let group = ctx.group;
+                    ctx.segments = Vec::new();
+                    self.finished.push((w, tag));
+                    if let Some(g) = group {
+                        self.groups[g.0 as usize].finished += 1;
+                        self.maybe_release_barrier(now, g);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Releases the group's barrier if every unfinished member has arrived.
+    fn maybe_release_barrier(&mut self, now: SimTime, g: GroupId) {
+        let ctx = &self.groups[g.0 as usize];
+        let expected = ctx.members.len() as u32 - ctx.finished;
+        if expected == 0 || ctx.arrived < expected {
+            return;
+        }
+        debug_assert_eq!(ctx.arrived, expected, "more arrivals than members");
+        let members = ctx.members.clone();
+        self.groups[g.0 as usize].arrived = 0;
+        // Everyone steps past the barrier. `settle` may re-arrive at a
+        // following barrier; that recursion terminates because segments are
+        // finite and strictly consumed.
+        for m in members {
+            let c = &mut self.warps[m.0 as usize];
+            if c.state == WarpState::AtBarrier {
+                c.cur += 1;
+                self.settle(now, m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WarpWork;
+    use desim::Dur;
+
+    fn titan_exec() -> ExecState {
+        ExecState::new(&GpuSpec::titan_x())
+    }
+
+    /// Runs the SM until quiescent, returning (time, finished tags).
+    fn run_sm(ex: &mut ExecState, sm: u32, mut now: SimTime) -> (SimTime, Vec<u64>) {
+        let mut tags = Vec::new();
+        while let Some(t) = ex.next_completion(sm, now) {
+            ex.advance_sm(sm, t);
+            ex.process_completions(sm, t);
+            now = t;
+            tags.extend(ex.drain_finished().into_iter().map(|(_, tag)| tag));
+        }
+        (now, tags)
+    }
+
+    #[test]
+    fn single_warp_latency_bound() {
+        // One warp, CPI 4, 32000 thread-instructions = 1000 warp-instrs
+        // = 4000 cycles = 4 us at 1 GHz.
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(32_000, 4.0), 9);
+        let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags, vec![9]);
+        let us = t.as_us_f64();
+        assert!((us - 4.0).abs() < 0.01, "took {us}us");
+    }
+
+    #[test]
+    fn saturated_sm_is_issue_bound() {
+        // 64 warps, CPI 1: per-warp cap = 128/64 = 2 lanes-instr/cycle...
+        // each warp does 32000 thread-instr. Aggregate = 64*32000 over
+        // 128e9/s = 16 us.
+        let mut ex = titan_exec();
+        ex.advance_sm(0, SimTime::ZERO);
+        for i in 0..64 {
+            let w = ex.create_warp(0);
+            ex.assign(SimTime::ZERO, w, WarpWork::compute(32_000, 1.0), i);
+        }
+        let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags.len(), 64);
+        let us = t.as_us_f64();
+        assert!((us - 16.0).abs() < 0.05, "took {us}us");
+    }
+
+    #[test]
+    fn few_warps_leave_sm_underutilized() {
+        // 8 warps CPI 4 run no slower than 1 warp CPI 4 (latency bound):
+        // the narrow-task premise.
+        let mut ex = titan_exec();
+        ex.advance_sm(0, SimTime::ZERO);
+        for i in 0..8 {
+            let w = ex.create_warp(0);
+            ex.assign(SimTime::ZERO, w, WarpWork::compute(32_000, 4.0), i);
+        }
+        let (t, _) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert!((t.as_us_f64() - 4.0).abs() < 0.01, "took {}us", t.as_us_f64());
+    }
+
+    #[test]
+    fn barrier_synchronizes_group() {
+        // Two warps; warp 0 has 10x the work per phase. Both must meet at
+        // the barrier, so total time is 2 phases of warp 0's work.
+        let mut ex = titan_exec();
+        let w0 = ex.create_warp(0);
+        let w1 = ex.create_warp(0);
+        ex.create_group(&[w0, w1]);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w0, WarpWork::phased(64_000, 2, 4.0), 0);
+        ex.assign(SimTime::ZERO, w1, WarpWork::phased(6_400, 2, 4.0), 1);
+        let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags.len(), 2);
+        // warp0: 2 phases x 32000 ti @ CPI4 = 8us total; warp1 waits.
+        assert!((t.as_us_f64() - 8.0).abs() < 0.05, "took {}us", t.as_us_f64());
+    }
+
+    #[test]
+    fn late_join_increases_completion_time() {
+        // Saturate with 64 warps; adding work mid-flight shares issue slots.
+        let mut ex = titan_exec();
+        ex.advance_sm(0, SimTime::ZERO);
+        let warps: Vec<_> = (0..64).map(|_| ex.create_warp(0)).collect();
+        for (i, w) in warps.iter().enumerate() {
+            ex.assign(SimTime::ZERO, *w, WarpWork::compute(32_000, 1.0), i as u64);
+        }
+        // Let it run 8us (half way), then drop in nothing; total stays 16us.
+        let mid = SimTime::from_us(8);
+        ex.advance_sm(0, mid);
+        ex.process_completions(0, mid);
+        let (t, _) = run_sm(&mut ex, 0, mid);
+        assert!((t.as_us_f64() - 16.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn unequal_warps_finish_shortest_first() {
+        // 4 warps CPI 1 (4·32 = 128 lanes = exactly issue width, so every
+        // warp stays latency-bound at 32 ti/cycle throughout). Work sizes
+        // 1000..4000 ti -> completions at 31.25, 62.5, 93.75, 125 ns.
+        let mut ex = titan_exec();
+        ex.advance_sm(0, SimTime::ZERO);
+        for i in 0..4u64 {
+            let w = ex.create_warp(0);
+            ex.assign(SimTime::ZERO, w, WarpWork::compute(1000 * (i + 1), 1.0), i);
+        }
+        let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags, vec![0, 1, 2, 3], "shortest-first completion order");
+        assert!((t.as_ns_f64() - 125.0).abs() < 1.0, "took {}ns", t.as_ns_f64());
+    }
+
+    #[test]
+    fn idle_warp_consumes_nothing() {
+        let mut ex = titan_exec();
+        let _idle = ex.create_warp(0);
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(3_200, 1.0), 0);
+        let (t, _) = run_sm(&mut ex, 0, SimTime::ZERO);
+        // 100 warp-instr @ CPI1 = 100 cycles, unaffected by the idle warp.
+        assert!((t.as_ns_f64() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reassignment_after_completion() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(3_200, 1.0), 1);
+        let (t1, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags, vec![1]);
+        ex.advance_sm(0, t1);
+        ex.assign(t1, w, WarpWork::compute(3_200, 1.0), 2);
+        let (t2, tags) = run_sm(&mut ex, 0, t1);
+        assert_eq!(tags, vec![2]);
+        assert_eq!((t2 - t1).as_ps(), t1.as_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has work")]
+    fn double_assign_panics() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(100, 1.0), 0);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(100, 1.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any group")]
+    fn barrier_work_requires_group() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::phased(100, 2, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans SMMs")]
+    fn cross_sm_group_rejected() {
+        let mut ex = titan_exec();
+        let a = ex.create_warp(0);
+        let b = ex.create_warp(1);
+        ex.create_group(&[a, b]);
+    }
+
+    #[test]
+    fn group_release_after_all_finish() {
+        let mut ex = titan_exec();
+        let a = ex.create_warp(0);
+        let b = ex.create_warp(0);
+        let g = ex.create_group(&[a, b]);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, a, WarpWork::phased(6_400, 2, 1.0), 0);
+        ex.assign(SimTime::ZERO, b, WarpWork::phased(6_400, 2, 1.0), 1);
+        let (_, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
+        assert_eq!(tags.len(), 2);
+        ex.release_group(g);
+        // Members can join a new group afterwards.
+        let g2 = ex.create_group(&[a, b]);
+        let _ = g2;
+    }
+
+    #[test]
+    fn zero_work_assignment_finishes_immediately() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(0, 1.0), 5);
+        let done = ex.drain_finished();
+        assert_eq!(done, vec![(w, 5)]);
+        assert!(ex.next_completion(0, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn utilization_integrals() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(32_000, 1.0), 0);
+        let (t, _) = run_sm(&mut ex, 0, SimTime::ZERO);
+        let s = ex.sm_stats(0);
+        assert_eq!(s.busy_ps, t.as_ps());
+        // 1 warp running the whole time.
+        assert!((s.running_warp_ps - t.as_ps() as f64).abs() < 1.0);
+        assert_eq!(ex.total_stats().busy_ps, t.as_ps());
+    }
+
+    #[test]
+    fn retire_requires_idle() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.retire_warp(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired warp")]
+    fn assign_to_retired_warp_panics() {
+        let mut ex = titan_exec();
+        let w = ex.create_warp(0);
+        ex.retire_warp(w);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, w, WarpWork::compute(1, 1.0), 0);
+    }
+
+    #[test]
+    fn different_sms_are_independent() {
+        let mut ex = titan_exec();
+        let a = ex.create_warp(0);
+        let b = ex.create_warp(1);
+        ex.advance_sm(0, SimTime::ZERO);
+        ex.advance_sm(1, SimTime::ZERO);
+        ex.assign(SimTime::ZERO, a, WarpWork::compute(32_000, 1.0), 0);
+        ex.assign(SimTime::ZERO, b, WarpWork::compute(32_000, 1.0), 1);
+        let ta = ex.next_completion(0, SimTime::ZERO).unwrap();
+        let tb = ex.next_completion(1, SimTime::ZERO).unwrap();
+        assert_eq!(ta, tb, "no cross-SM interference");
+        let _ = Dur::ZERO;
+    }
+}

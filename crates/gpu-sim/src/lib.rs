@@ -1,0 +1,42 @@
+//! Discrete-event GPU device simulator.
+//!
+//! This crate models the machine the Pagoda paper evaluates on — an NVIDIA
+//! Maxwell Titan X — at the granularity its arguments are made at: warps,
+//! threadblocks, SMM resource pools, and the kernel-launch front end. See
+//! the module docs of [`device`] and [`exec`] for the execution model, and
+//! `DESIGN.md` at the repository root for why a simulator stands in for the
+//! real hardware.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use gpu_sim::{DeviceConfig, GpuDevice, KernelDesc, Notify, WarpWork};
+//! use gpu_arch::TaskShape;
+//!
+//! let mut dev = GpuDevice::new(DeviceConfig::titan_x());
+//! // One narrow task: 128 threads, 1 threadblock.
+//! let k = KernelDesc::uniform(
+//!     TaskShape::narrow(128),
+//!     WarpWork::compute(100_000, 4.0),
+//!     /*tag=*/ 7,
+//! );
+//! dev.launch_kernel(k).unwrap();
+//! let mut completed = None;
+//! while let Some((t, batch)) = dev.step() {
+//!     for n in batch {
+//!         if let Notify::KernelDone { tag } = n {
+//!             completed = Some((tag, t));
+//!         }
+//!     }
+//! }
+//! let (tag, _t) = completed.unwrap();
+//! assert_eq!(tag, 7);
+//! ```
+
+pub mod device;
+pub mod exec;
+pub mod work;
+
+pub use device::{DeviceConfig, DeviceStats, GpuDevice, Notify, PersistentTb};
+pub use exec::{ExecStats, GroupId, WarpHandle};
+pub use work::{BlockWork, KernelDesc, Segment, WarpWork};

@@ -1,0 +1,118 @@
+//! Property tests of the device simulator: resource conservation, timing
+//! bounds, and completion guarantees for arbitrary kernel soups.
+
+use gpu_arch::TaskShape;
+use gpu_sim::{DeviceConfig, GpuDevice, KernelDesc, Notify, WarpWork};
+use proptest::prelude::*;
+
+fn quiet() -> DeviceConfig {
+    let mut c = DeviceConfig::titan_x();
+    c.launch_issue_cost = desim::Dur::from_ps(0);
+    c
+}
+
+#[derive(Debug, Clone)]
+struct KSpec {
+    threads: u32,
+    tbs: u32,
+    instrs: u64,
+    cpi_tenths: u32,
+    smem_kb: u32,
+}
+
+fn arb_kernel() -> impl Strategy<Value = KSpec> {
+    (1u32..=1024, 1u32..=8, 0u64..500_000, 10u32..200, 0u32..=48).prop_map(
+        |(threads, tbs, instrs, cpi_tenths, smem_kb)| KSpec {
+            threads,
+            tbs,
+            instrs,
+            cpi_tenths,
+            smem_kb,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_launched_kernel_completes(specs in prop::collection::vec(arb_kernel(), 1..24)) {
+        let mut dev = GpuDevice::new(quiet());
+        let mut launched = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            let shape = TaskShape {
+                threads_per_tb: s.threads,
+                num_tbs: s.tbs,
+                regs_per_thread: 32,
+                smem_per_tb: s.smem_kb * 1024,
+            };
+            let k = KernelDesc::uniform(
+                shape,
+                WarpWork::compute(s.instrs, f64::from(s.cpi_tenths) / 10.0),
+                i as u64,
+            );
+            if dev.launch_kernel(k).is_ok() {
+                launched.push(i as u64);
+            }
+        }
+        let mut done = Vec::new();
+        while let Some((_, batch)) = dev.step() {
+            for n in batch {
+                if let Notify::KernelDone { tag } = n {
+                    done.push(tag);
+                }
+            }
+        }
+        done.sort_unstable();
+        prop_assert_eq!(done, launched, "every accepted kernel must retire");
+    }
+
+    #[test]
+    fn makespan_bounded_by_serial_and_ideal(specs in prop::collection::vec(arb_kernel(), 1..12)) {
+        // The device can never beat perfect issue-bound parallelism, nor
+        // be slower than running every warp alone back to back.
+        let mut dev = GpuDevice::new(quiet());
+        let mut total_work = 0f64;       // thread-instructions
+        let mut serial_bound = 0f64;     // seconds
+        for (i, s) in specs.iter().enumerate() {
+            let cpi = f64::from(s.cpi_tenths) / 10.0;
+            let shape = TaskShape {
+                threads_per_tb: s.threads,
+                num_tbs: s.tbs,
+                regs_per_thread: 32,
+                smem_per_tb: 0,
+            };
+            let warps = shape.total_warps() as f64;
+            total_work += warps * s.instrs as f64;
+            serial_bound += warps * (s.instrs as f64 * cpi / 32.0 / 1e9);
+            let k = KernelDesc::uniform(shape, WarpWork::compute(s.instrs, cpi), i as u64);
+            prop_assume!(dev.launch_kernel(k).is_ok());
+        }
+        while dev.step().is_some() {}
+        let t = dev.now().as_secs_f64();
+        let ideal = total_work / (24.0 * 128e9);
+        prop_assert!(t + 1e-12 >= ideal, "t={t} ideal={ideal}");
+        prop_assert!(t <= serial_bound + 1e-6, "t={t} serial={serial_bound}");
+    }
+
+    #[test]
+    fn occupancy_metrics_stay_in_range(specs in prop::collection::vec(arb_kernel(), 1..10)) {
+        let mut dev = GpuDevice::new(quiet());
+        for (i, s) in specs.iter().enumerate() {
+            let shape = TaskShape {
+                threads_per_tb: s.threads,
+                num_tbs: s.tbs,
+                regs_per_thread: 32,
+                smem_per_tb: 0,
+            };
+            let k = KernelDesc::uniform(shape, WarpWork::compute(s.instrs, 4.0), i as u64);
+            let _ = dev.launch_kernel(k);
+        }
+        while dev.step().is_some() {}
+        let run = dev.avg_running_occupancy();
+        let res = dev.avg_resident_occupancy();
+        prop_assert!((0.0..=1.0).contains(&run));
+        prop_assert!((0.0..=1.0).contains(&res));
+        prop_assert!(run <= res + 1e-9, "running {run} cannot exceed resident {res}");
+    }
+}

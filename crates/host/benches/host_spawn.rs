@@ -1,0 +1,90 @@
+//! Throughput of the native slot-table executor vs a plain
+//! mutex-protected queue — the DESIGN.md "buddy vs free-list"-style
+//! ablation applied to the spawning path: how much does Pagoda's
+//! slot-CAS hand-off buy over the obvious lock?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pagoda_host::HostPagoda;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const TASKS: usize = 20_000;
+
+fn bench_slot_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host/spawn_drain_20k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS as u64));
+    g.bench_function("pagoda_host", |b| {
+        b.iter(|| {
+            let rt = HostPagoda::new(4, 64);
+            let count = Arc::new(AtomicUsize::new(0));
+            for _ in 0..TASKS {
+                let c = Arc::clone(&count);
+                rt.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            rt.wait_all();
+            assert_eq!(count.load(Ordering::Relaxed), TASKS);
+        })
+    });
+    g.bench_function("mutex_queue", |b| {
+        b.iter(|| {
+            // The baseline every textbook reaches for first.
+            type Job = Box<dyn FnOnce() + Send>;
+            struct Q {
+                q: Mutex<VecDeque<Job>>,
+                cv: Condvar,
+                done: AtomicBool,
+            }
+            let q = Arc::new(Q {
+                q: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                done: AtomicBool::new(false),
+            });
+            let count = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || loop {
+                        let job = {
+                            let mut g = q.q.lock();
+                            loop {
+                                if let Some(j) = g.pop_front() {
+                                    break Some(j);
+                                }
+                                if q.done.load(Ordering::Acquire) {
+                                    break None;
+                                }
+                                q.cv.wait_for(&mut g, std::time::Duration::from_millis(1));
+                            }
+                        };
+                        match job {
+                            Some(j) => j(),
+                            None => return,
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..TASKS {
+                let c = Arc::clone(&count);
+                q.q.lock().push_back(Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }));
+                q.cv.notify_one();
+            }
+            q.done.store(true, Ordering::Release);
+            q.cv.notify_all();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(count.load(Ordering::Relaxed), TASKS);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_slot_table);
+criterion_main!(benches);

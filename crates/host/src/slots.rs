@@ -1,0 +1,232 @@
+//! The native slot table: Pagoda's TaskTable with release/acquire
+//! ordering instead of PCIe copies.
+//!
+//! Each slot moves through `FREE → CLAIMED → READY → RUNNING → FREE`:
+//!
+//! * a **spawner** CASes `FREE → CLAIMED` (acquiring exclusive write
+//!   access to the slot's job cell), writes the job, then stores `READY`
+//!   with `Release` — the publish;
+//! * a **worker** CASes `READY → RUNNING` with `Acquire` (synchronizing
+//!   with the publish), takes the job out, and stores `FREE` with
+//!   `Release` once the cell is empty again.
+//!
+//! The single-CAS hand-off on each side is the whole synchronization
+//! story: slots are independent, so spawners and workers only ever
+//! contend when they race for the *same* slot, and the column-ownership
+//! scan (own column first, then steal) keeps that rare. Compare with
+//! `pagoda_core::table`, where the identical lifecycle needs the ready/
+//! sched two-flag protocol, pipelined copies, and lazy aggregate
+//! copy-backs purely because PCIe offers no atomics.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// A published task.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+const FREE: u8 = 0;
+const CLAIMED: u8 = 1;
+const READY: u8 = 2;
+const RUNNING: u8 = 3;
+
+struct Slot {
+    state: AtomicU8,
+    job: UnsafeCell<Option<Job>>,
+}
+
+// SAFETY: the `job` cell is only accessed by the thread that owns the
+// slot's current state-machine stage: the spawner that CASed FREE→CLAIMED
+// writes it; the worker that CASed READY→RUNNING takes it. The CAS +
+// Release/Acquire pairs order those accesses.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(FREE),
+            job: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Columns × rows of slots; column `c` is worker `c`'s home column.
+pub(crate) struct SlotTable {
+    slots: Vec<Slot>,
+    cols: usize,
+    rows: usize,
+    /// Spawner round-robin cursor over columns (load spreading, like the
+    /// GPU runtime's column cursor).
+    spawn_cursor: AtomicUsize,
+    /// Fast emptiness hint for parking decisions (monotonic counters).
+    published: AtomicUsize,
+    claimed: AtomicUsize,
+}
+
+impl SlotTable {
+    pub(crate) fn new(cols: usize, rows: usize) -> Self {
+        SlotTable {
+            slots: (0..cols * rows).map(|_| Slot::new()).collect(),
+            cols,
+            rows,
+            spawn_cursor: AtomicUsize::new(0),
+            published: AtomicUsize::new(0),
+            claimed: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, col: usize, row: usize) -> &Slot {
+        &self.slots[col * self.rows + row]
+    }
+
+    /// Attempts to publish a job into some free slot; returns the job
+    /// back if the whole table is busy.
+    pub(crate) fn try_publish(&self, job: Job) -> Result<(), Job> {
+        let start = self.spawn_cursor.fetch_add(1, Ordering::Relaxed) % self.cols;
+        for k in 0..self.cols {
+            let col = (start + k) % self.cols;
+            for row in 0..self.rows {
+                let s = self.slot(col, row);
+                if s.state.load(Ordering::Relaxed) == FREE
+                    && s.state
+                        .compare_exchange(FREE, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    // SAFETY: CLAIMED grants us exclusive access (see Slot).
+                    unsafe { *s.job.get() = Some(job) };
+                    s.state.store(READY, Ordering::Release);
+                    self.published.fetch_add(1, Ordering::Release);
+                    return Ok(());
+                }
+            }
+        }
+        Err(job)
+    }
+
+    /// Attempts to claim a ready job, scanning the worker's own column
+    /// first and then stealing from the others.
+    pub(crate) fn try_claim(&self, own_col: usize) -> Option<Job> {
+        for k in 0..self.cols {
+            let col = (own_col + k) % self.cols;
+            for row in 0..self.rows {
+                let s = self.slot(col, row);
+                if s.state.load(Ordering::Relaxed) == READY
+                    && s.state
+                        .compare_exchange(READY, RUNNING, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    // SAFETY: RUNNING grants us exclusive access.
+                    let job = unsafe { (*s.job.get()).take() }.expect("READY slot holds a job");
+                    s.state.store(FREE, Ordering::Release);
+                    self.claimed.fetch_add(1, Ordering::Release);
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether any published job might still be unclaimed (may spuriously
+    /// say yes; never spuriously says no — safe for parking decisions).
+    pub(crate) fn any_ready(&self) -> bool {
+        self.published.load(Ordering::Acquire) > self.claimed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_claim_roundtrip() {
+        let t = SlotTable::new(2, 2);
+        let hit = Arc::new(Counter::new(0));
+        let h = Arc::clone(&hit);
+        t.try_publish(Box::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        }))
+        .map_err(|_| ())
+        .unwrap();
+        assert!(t.any_ready());
+        let job = t.try_claim(0).expect("claimable");
+        job();
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+        assert!(!t.any_ready());
+        assert!(t.try_claim(0).is_none());
+    }
+
+    #[test]
+    fn table_capacity_is_cols_times_rows() {
+        let t = SlotTable::new(2, 3);
+        for _ in 0..6 {
+            assert!(t.try_publish(Box::new(|| {})).is_ok());
+        }
+        assert!(t.try_publish(Box::new(|| {})).is_err(), "7th must bounce");
+        // Claiming one frees one.
+        let _ = t.try_claim(1).unwrap();
+        assert!(t.try_publish(Box::new(|| {})).is_ok());
+    }
+
+    #[test]
+    fn stealing_reaches_other_columns() {
+        let t = SlotTable::new(4, 1);
+        t.try_publish(Box::new(|| {})).map_err(|_| ()).unwrap();
+        // Whichever column it landed in, worker 3 can steal it.
+        assert!(t.try_claim(3).is_some());
+    }
+
+    #[test]
+    fn concurrent_publishers_and_claimers_conserve_jobs() {
+        let t = Arc::new(SlotTable::new(4, 8));
+        let executed = Arc::new(Counter::new(0));
+        let produced = 4 * 2000;
+        let claimers: Vec<_> = (0..4)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while got < 2000 {
+                        if let Some(job) = t.try_claim(w) {
+                            job();
+                            got += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let _ = &executed;
+                })
+            })
+            .collect();
+        let publishers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let e = Arc::clone(&executed);
+                        let mut job: Job = Box::new(move || {
+                            e.fetch_add(1, Ordering::Relaxed);
+                        });
+                        loop {
+                            match t.try_publish(job) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    job = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in publishers.into_iter().chain(claimers) {
+            h.join().unwrap();
+        }
+        assert_eq!(executed.load(Ordering::Relaxed), produced);
+    }
+}

@@ -1,0 +1,189 @@
+//! Mandelbrot (MB): fractal escape-time rendering, the paper's archetypal
+//! *irregular* narrow task — each task renders one 64×64 image whose
+//! per-pixel iteration counts vary wildly, so warp lanes diverge and task
+//! durations are unpredictable (Table 4: "the required computation per
+//! pixel is highly irregular").
+
+use pagoda_core::TaskDesc;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::calib;
+use crate::gen::{build_block, distribute_cyclic};
+use crate::GenOpts;
+
+/// Image side length per task (paper Table 3: 64×64 images).
+pub const DIM: usize = 64;
+/// Iteration cap.
+pub const MAX_ITER: u32 = 256;
+
+/// A rectangular window of the complex plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Left edge (real axis).
+    pub x0: f64,
+    /// Top edge (imaginary axis).
+    pub y0: f64,
+    /// Window width.
+    pub w: f64,
+    /// Window height.
+    pub h: f64,
+}
+
+/// Escape iterations for one point `c = cx + i·cy` (the classic z←z²+c).
+pub fn escape_iters(cx: f64, cy: f64, max_iter: u32) -> u32 {
+    let (mut zx, mut zy) = (0.0f64, 0.0f64);
+    for i in 0..max_iter {
+        let zx2 = zx * zx;
+        let zy2 = zy * zy;
+        if zx2 + zy2 > 4.0 {
+            return i;
+        }
+        zy = 2.0 * zx * zy + cy;
+        zx = zx2 - zy2 + cx;
+    }
+    max_iter
+}
+
+/// Renders a `dim`×`dim` iteration image of `region`.
+pub fn render(region: Region, dim: usize, max_iter: u32) -> Vec<u16> {
+    let mut out = Vec::with_capacity(dim * dim);
+    for py in 0..dim {
+        for px in 0..dim {
+            let cx = region.x0 + region.w * (px as f64 + 0.5) / dim as f64;
+            let cy = region.y0 + region.h * (py as f64 + 0.5) / dim as f64;
+            out.push(escape_iters(cx, cy, max_iter) as u16);
+        }
+    }
+    out
+}
+
+/// GPU operation count for one pixel: the loop body is ~10 thread-ops per
+/// iteration plus setup.
+fn pixel_ops(iters: u16) -> u64 {
+    8 + 10 * u64::from(iters)
+}
+
+/// Random windows over the whole interesting plane. Some land entirely
+/// inside the set (every pixel runs to `MAX_ITER` — heavy tiles), some in
+/// far-escaping regions (a few iterations per pixel), most straddle the
+/// boundary. Task durations therefore vary by well over an order of
+/// magnitude, which is exactly what defeats batch schedulers on this
+/// benchmark (§6.2: "GeMTC performs worse than HyperQ in MB … because
+/// these applications contain irregular workloads").
+fn random_region(rng: &mut SmallRng) -> Region {
+    let (cx, cy) = if rng.gen_bool(0.05) {
+        // Rare deep-interior tile: every pixel runs to MAX_ITER.
+        (rng.gen_range(-0.4..0.1), rng.gen_range(-0.2..0.2))
+    } else {
+        // Exterior-leaning window: rejection-sample a centre that escapes
+        // quickly-ish, giving mostly light tiles with boundary texture.
+        loop {
+            let cx = rng.gen_range(-2.0..0.6);
+            let cy = rng.gen_range(-1.2..1.2);
+            let it = escape_iters(cx, cy, MAX_ITER);
+            if (1..64).contains(&it) {
+                break (cx, cy);
+            }
+        }
+    };
+    let scale = 10f64.powf(rng.gen_range(-2.5..-0.3));
+    Region {
+        x0: cx - scale / 2.0,
+        y0: cy - scale / 2.0,
+        w: scale,
+        h: scale,
+    }
+}
+
+/// One task's work description, derived from a *real* render of the
+/// variant's region (the iteration image drives the divergence model).
+fn task_from_region(region: Region, opts: &GenOpts) -> TaskDesc {
+    let img = render(region, DIM, MAX_ITER);
+    let item_ops: Vec<u64> = img
+        .iter()
+        .map(|&it| crate::gen::scale_ops(pixel_ops(it), opts.work_scale))
+        .collect();
+    let cpu_ops = item_ops.iter().sum();
+    let per_thread = distribute_cyclic(&item_ops, opts.threads_per_task as usize);
+    let block = build_block(&per_thread, calib::MB.cpi, &[1.0]);
+    TaskDesc {
+        threads_per_tb: opts.threads_per_task,
+        num_tbs: 1,
+        smem_per_tb: 0,
+        sync: false,
+        blocks: vec![block],
+        input_bytes: if opts.with_io { 64 } else { 0 }, // region params
+        output_bytes: if opts.with_io { (DIM * DIM * 2) as u64 } else { 0 },
+        cpu_ops,
+    }
+}
+
+/// Generates `n` Mandelbrot tasks. A pool of 64 distinct regions is
+/// rendered once and sampled, so generation stays cheap at 32 K tasks
+/// while preserving cross-task irregularity.
+pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x6d62);
+    let pool: Vec<TaskDesc> = (0..64).map(|_| task_from_region(random_region(&mut rng), opts)).collect();
+    (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_points() {
+        // Origin is in the set; a far point escapes after one step
+        // (z1 = c already has |z| > 2).
+        assert_eq!(escape_iters(0.0, 0.0, 256), 256);
+        assert_eq!(escape_iters(2.5, 2.5, 256), 1);
+        // c = -1 is periodic (in the set).
+        assert_eq!(escape_iters(-1.0, 0.0, 256), 256);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_irregular() {
+        let r = Region { x0: -1.5, y0: -1.0, w: 2.0, h: 2.0 };
+        let a = render(r, 32, 128);
+        let b = render(r, 32, 128);
+        assert_eq!(a, b);
+        let min = *a.iter().min().unwrap();
+        let max = *a.iter().max().unwrap();
+        assert!(max > min, "boundary window must be irregular");
+    }
+
+    #[test]
+    fn tasks_have_irregular_work() {
+        let opts = GenOpts::default();
+        let ts = tasks(100, &opts);
+        assert_eq!(ts.len(), 100);
+        let works: Vec<u64> = ts.iter().map(|t| t.total_instrs()).collect();
+        let min = works.iter().min().unwrap();
+        let max = works.iter().max().unwrap();
+        assert!(max > &(min * 2), "iteration irregularity: {min} vs {max}");
+        for t in &ts {
+            t.validate().unwrap();
+            assert!(!t.sync);
+        }
+    }
+
+    #[test]
+    fn io_toggle() {
+        let mut opts = GenOpts::default();
+        opts.with_io = false;
+        assert_eq!(tasks(1, &opts)[0].output_bytes, 0);
+        opts.with_io = true;
+        assert_eq!(tasks(1, &opts)[0].output_bytes, 8192);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let opts = GenOpts::default();
+        let a = tasks(10, &opts);
+        let b = tasks(10, &opts);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_instrs(), y.total_instrs());
+        }
+    }
+}

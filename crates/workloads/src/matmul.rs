@@ -1,0 +1,147 @@
+//! MatrixMul (MM): small dense matrix multiplication, one multiplication
+//! per task (refactored CUDA SDK sample). The paper motivates it with an
+//! earthquake-engineering simulator that concurrently multiplies many
+//! small, differently-sized matrices (Table 4). Uses shared-memory tiling
+//! and synchronization; the matrix dimension is parameterizable because
+//! Fig. 8 sweeps it.
+
+use pagoda_core::TaskDesc;
+
+use crate::calib;
+use crate::gen::uniform_block;
+use crate::GenOpts;
+
+/// Default matrix side (paper Table 3: 64×64).
+pub const DIM: usize = 64;
+/// Shared-memory tile side for the tiled variant.
+pub const TILE: usize = 16;
+
+/// Row-major `n×n` matrix product `C = A·B`.
+pub fn matmul(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Tiled matrix product — the shared-memory algorithm the GPU kernel
+/// implements; must agree with [`matmul`] exactly in exact arithmetic and
+/// closely in floats.
+pub fn matmul_tiled(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    assert_eq!(n % TILE, 0, "dimension must be a multiple of the tile");
+    let mut c = vec![0.0f32; n * n];
+    for bi in (0..n).step_by(TILE) {
+        for bj in (0..n).step_by(TILE) {
+            for bk in (0..n).step_by(TILE) {
+                for i in bi..bi + TILE {
+                    for k in bk..bk + TILE {
+                        let aik = a[i * n + k];
+                        for j in bj..bj + TILE {
+                            c[i * n + j] += aik * b[k * n + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Per-task thread-ops for an `n×n` product: 2n³ MAC ops plus addressing.
+fn task_ops(n: usize) -> u64 {
+    (2 * n * n * n + n * n) as u64
+}
+
+/// Tasks multiplying `dim`×`dim` matrices (Fig. 8 sweeps `dim`).
+pub fn tasks_sized(n: usize, dim: usize, opts: &GenOpts) -> Vec<TaskDesc> {
+    let cpi = if opts.use_smem { calib::MM.cpi_smem } else { calib::MM.cpi };
+    let scaled = crate::gen::scale_ops(task_ops(dim), opts.work_scale);
+    let ops_per_thread = scaled.div_ceil(u64::from(opts.threads_per_task));
+    // The k-tile loop synchronizes after each staged tile; model the
+    // barrier structure with dim/TILE phases (≥1).
+    let phases = (dim / TILE).max(1);
+    let fracs = vec![1.0 / phases as f64; phases];
+    let block = uniform_block(opts.threads_per_task, ops_per_thread, cpi, &fracs);
+    let bytes = (dim * dim * 4) as u64;
+    let t = TaskDesc {
+        threads_per_tb: opts.threads_per_task,
+        num_tbs: 1,
+        smem_per_tb: if opts.use_smem { (2 * TILE * TILE * 4) as u32 } else { 0 },
+        sync: true,
+        blocks: vec![block],
+        input_bytes: if opts.with_io { 2 * bytes } else { 0 }, // A and B
+        output_bytes: if opts.with_io { bytes } else { 0 },
+        cpu_ops: crate::gen::scale_ops(task_ops(dim), opts.work_scale),
+    };
+    vec![t; n]
+}
+
+/// Tasks at the paper's default 64×64 size.
+pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
+    tasks_sized(n, DIM, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, mul: f32) -> Vec<f32> {
+        (0..n * n).map(|i| ((i % 13) as f32 - 6.0) * mul).collect()
+    }
+
+    #[test]
+    fn identity_product() {
+        let n = 16;
+        let mut id = vec![0.0f32; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        let a = seq(n, 0.5);
+        assert_eq!(matmul(&a, &id, n), a);
+        assert_eq!(matmul(&id, &a, n), a);
+    }
+
+    #[test]
+    fn tiled_matches_naive() {
+        let n = 32;
+        let a = seq(n, 0.25);
+        let b = seq(n, 0.75);
+        let c1 = matmul(&a, &b, n);
+        let c2 = matmul_tiled(&a, &b, n);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn work_scales_cubically() {
+        let o = GenOpts::default();
+        let small = tasks_sized(1, 32, &o)[0].total_instrs();
+        let large = tasks_sized(1, 64, &o)[0].total_instrs();
+        let ratio = large as f64 / small as f64;
+        assert!((7.0..9.0).contains(&ratio), "cubic scaling, got {ratio}");
+    }
+
+    #[test]
+    fn smem_variant_shape() {
+        let mut o = GenOpts::default();
+        o.use_smem = true;
+        let t = &tasks(1, &o)[0];
+        assert_eq!(t.smem_per_tb, 2048);
+        assert!(t.sync);
+        t.validate().unwrap();
+        // 64/16 = 4 tile phases -> 3 barriers.
+        assert_eq!(t.blocks[0].warps()[0].barrier_count(), 3);
+    }
+}

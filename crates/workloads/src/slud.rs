@@ -1,0 +1,262 @@
+//! Sparse LU Decomposition (SLUD): a multifrontal-style block-sparse LU
+//! solver (Barcelona OpenMP Task Suite's sparselu). The matrix is a grid
+//! of 32×32 dense tiles, many of which are empty; factorization proceeds
+//! in waves — factor the diagonal tile, triangular-solve its row and
+//! column, then Schur-update the trailing submatrix, *creating fill-in*.
+//!
+//! Two properties matter for the paper:
+//!
+//! * the task count is **not known statically** (fill-in depends on the
+//!   pattern), which is why GeMTC cannot run SLUD (§6.2) and static fusion
+//!   cannot fuse it (§6.3);
+//! * tasks are tiny (one 32×32 tile of dense work) and irregular in count
+//!   per wave — the extreme narrow-task case (273 K tasks in the paper).
+
+use pagoda_core::TaskDesc;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::calib;
+use crate::gen::uniform_block;
+use crate::GenOpts;
+
+/// Tile side (paper Table 3: 32×32 matrix per task).
+pub const TILE: usize = 32;
+
+/// Dense LU (Doolittle, no pivoting) of a row-major `n×n` matrix.
+/// Returns `(l, u)` with unit-diagonal `L`. Callers supply diagonally
+/// dominant matrices (the BOTS benchmark does the same).
+pub fn dense_lu(a: &[f32], n: usize) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(a.len(), n * n);
+    let mut u = a.to_vec();
+    let mut l = vec![0.0f32; n * n];
+    for i in 0..n {
+        l[i * n + i] = 1.0;
+    }
+    for k in 0..n {
+        let pivot = u[k * n + k];
+        assert!(pivot.abs() > 1e-12, "zero pivot at {k}; matrix not factorable");
+        for i in k + 1..n {
+            let m = u[i * n + k] / pivot;
+            l[i * n + k] = m;
+            u[i * n + k] = 0.0; // exactly, not m·pivot rounding dust
+            for j in k + 1..n {
+                u[i * n + j] -= m * u[k * n + j];
+            }
+        }
+    }
+    (l, u)
+}
+
+/// The kind of tile task a factorization step generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileTask {
+    /// LU-factor the diagonal tile (`lu0` in BOTS).
+    Factor,
+    /// Triangular solve of a row/column tile (`fwd`/`bdiv`).
+    Solve,
+    /// Schur-complement GEMM update of a trailing tile (`bmod`).
+    Update,
+}
+
+impl TileTask {
+    /// Thread-ops of one tile task (dense 32×32 kernels: ~2/3·b³ for the
+    /// factor, b³ per triangular solve, 2·b³ for the GEMM update, with ~2
+    /// ops per MAC plus addressing).
+    pub fn ops(self) -> u64 {
+        let b = TILE as u64;
+        match self {
+            TileTask::Factor => 2 * b * b * b / 3 * 3,
+            TileTask::Solve => b * b * b * 3,
+            TileTask::Update => 2 * b * b * b * 3,
+        }
+    }
+}
+
+/// Symbolic block factorization of an `nb×nb` tile grid with random
+/// off-diagonal density. Returns dependency *waves*: all tasks within one
+/// wave are independent; wave *k+1* depends on wave *k*. Three waves per
+/// elimination step: `[factor]`, `[solves…]`, `[updates…]`.
+pub fn symbolic_waves(nb: usize, density: f64, seed: u64) -> Vec<Vec<TileTask>> {
+    assert!(nb > 0, "empty grid");
+    assert!((0.0..=1.0).contains(&density), "density out of range");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x515d);
+    let mut nz = vec![false; nb * nb];
+    for i in 0..nb {
+        nz[i * nb + i] = true; // structurally nonsingular diagonal
+        for j in 0..nb {
+            if i != j && rng.gen_bool(density) {
+                nz[i * nb + j] = true;
+            }
+        }
+    }
+    let mut waves = Vec::new();
+    for k in 0..nb {
+        waves.push(vec![TileTask::Factor]);
+        let mut solves = Vec::new();
+        for i in k + 1..nb {
+            if nz[i * nb + k] {
+                solves.push(TileTask::Solve);
+            }
+            if nz[k * nb + i] {
+                solves.push(TileTask::Solve);
+            }
+        }
+        if !solves.is_empty() {
+            waves.push(solves);
+        }
+        let mut updates = Vec::new();
+        for i in k + 1..nb {
+            if !nz[i * nb + k] {
+                continue;
+            }
+            for j in k + 1..nb {
+                if nz[k * nb + j] {
+                    updates.push(TileTask::Update);
+                    nz[i * nb + j] = true; // fill-in
+                }
+            }
+        }
+        if !updates.is_empty() {
+            waves.push(updates);
+        }
+    }
+    waves
+}
+
+fn task_of(t: TileTask, opts: &GenOpts) -> TaskDesc {
+    let scaled = crate::gen::scale_ops(t.ops(), opts.work_scale);
+    let ops_per_thread = scaled.div_ceil(u64::from(opts.threads_per_task));
+    let block = uniform_block(opts.threads_per_task, ops_per_thread, calib::SLUD.cpi, &[1.0]);
+    TaskDesc {
+        threads_per_tb: opts.threads_per_task,
+        num_tbs: 1,
+        smem_per_tb: 0,
+        sync: false,
+        blocks: vec![block],
+        // The matrix lives in device memory for the whole factorization
+        // (Table 3: SLUD spends 3 % in data copy — only control traffic).
+        input_bytes: 0,
+        output_bytes: 0,
+        cpu_ops: crate::gen::scale_ops(t.ops(), opts.work_scale),
+    }
+}
+
+/// Dependency waves of `TaskDesc`s for an `nb×nb` grid.
+pub fn waves_as_tasks(nb: usize, density: f64, opts: &GenOpts) -> Vec<Vec<TaskDesc>> {
+    symbolic_waves(nb, density, opts.seed)
+        .into_iter()
+        .map(|w| w.into_iter().map(|t| task_of(t, opts)).collect())
+        .collect()
+}
+
+/// Default off-diagonal block density.
+pub const DENSITY: f64 = 0.35;
+
+/// Smallest grid size whose factorization generates at least `n` tasks
+/// (task count grows ~cubically with fill-in, so this is a short search).
+pub fn grid_for(n: usize, seed: u64) -> usize {
+    let mut nb = 4;
+    while nb < 160 {
+        let count: usize = symbolic_waves(nb, DENSITY, seed).iter().map(Vec::len).sum();
+        if count >= n {
+            break;
+        }
+        nb += 4;
+    }
+    nb
+}
+
+/// A flat task list whose total count approximates `n` (at least `n`,
+/// input-dependent). Used by harnesses that treat SLUD like the
+/// fixed-count benchmarks.
+pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
+    let nb = grid_for(n, opts.seed);
+    waves_as_tasks(nb, DENSITY, opts).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for i in 0..n {
+            a[i * n + i] = n as f32 + rng.gen_range(0.0..1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn lu_reconstructs_matrix() {
+        let n = TILE;
+        let a = dominant(n, 3);
+        let (l, u) = dense_lu(&a, n);
+        // L·U == A within float tolerance.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..=i.min(j) {
+                    acc += l[i * n + k] * u[k * n + j];
+                }
+                assert!(
+                    (acc - a[i * n + j]).abs() < 1e-3,
+                    "A[{i}][{j}]: {acc} vs {}",
+                    a[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l_is_unit_lower_u_is_upper() {
+        let n = 16;
+        let (l, u) = dense_lu(&dominant(n, 9), n);
+        for i in 0..n {
+            assert_eq!(l[i * n + i], 1.0);
+            for j in i + 1..n {
+                assert_eq!(l[i * n + j], 0.0, "L upper part");
+            }
+            for j in 0..i {
+                assert_eq!(u[i * n + j], 0.0, "U lower part");
+            }
+        }
+    }
+
+    #[test]
+    fn waves_respect_structure() {
+        let waves = symbolic_waves(8, 0.3, 42);
+        // First wave is always the first diagonal factor.
+        assert_eq!(waves[0], vec![TileTask::Factor]);
+        // Factor waves are singletons.
+        for w in &waves {
+            if w.contains(&TileTask::Factor) {
+                assert_eq!(w.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fill_in_grows_task_count() {
+        let sparse: usize = symbolic_waves(16, 0.1, 1).iter().map(Vec::len).sum();
+        let dense: usize = symbolic_waves(16, 0.6, 1).iter().map(Vec::len).sum();
+        assert!(dense > 2 * sparse, "{sparse} vs {dense}");
+    }
+
+    #[test]
+    fn task_count_is_input_dependent_not_closed_form() {
+        // Same size, different seeds -> different counts: the property
+        // that rules GeMTC out.
+        let a: usize = symbolic_waves(16, 0.25, 1).iter().map(Vec::len).sum();
+        let b: usize = symbolic_waves(16, 0.25, 2).iter().map(Vec::len).sum();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flat_tasks_reach_requested_scale() {
+        let ts = tasks(5_000, &GenOpts::default());
+        assert!(ts.len() >= 5_000, "got {}", ts.len());
+        ts[0].validate().unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+//! # Pagoda
+//!
+//! A Rust reproduction of **"Pagoda: Fine-Grained GPU Resource
+//! Virtualization for Narrow Tasks"** (Yeh, Sabne, Sakdhnagool, Eigenmann,
+//! Rogers — PPoPP 2017), complete with the GPU substrate it runs on, the
+//! baselines it is evaluated against, and the workloads of its evaluation.
+//!
+//! GPUs waste most of their capacity on *narrow tasks* — kernels with
+//! fewer than ~500 threads. Pagoda fixes this with an OS-like daemon
+//! kernel, the **MasterKernel**, that owns every warp of the device and
+//! schedules task work at *warp* granularity, fed continuously from the
+//! host through a mirrored, atomics-free **TaskTable**.
+//!
+//! Because device-side persistent CUDA kernels cannot be written in
+//! stable Rust (and this repository must run anywhere), the hardware is a
+//! deterministic discrete-event simulator of the paper's Maxwell Titan X;
+//! the Pagoda *runtime logic* — the TaskTable protocol, scheduler/executor
+//! warp algorithms, buddy shared-memory allocator, named-barrier recycling
+//! — is implemented in full. See `DESIGN.md` for the substitution
+//! argument and `EXPERIMENTS.md` for paper-vs-measured numbers on every
+//! figure and table.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`pagoda_core`] | the Pagoda runtime (the paper's contribution) |
+//! | [`gpu_sim`] | the GPU device model (SMMs, warps, threadblocks) |
+//! | [`gpu_arch`] | machine specs and occupancy math |
+//! | [`pcie`] | the host-device interconnect model |
+//! | [`desim`] | the discrete-event engine |
+//! | [`baselines`] | CUDA-HyperQ, GeMTC, static fusion, CPU baselines |
+//! | [`workloads`] | the eight evaluation benchmarks + MPE |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pagoda::prelude::*;
+//!
+//! // Boot the runtime: launches the MasterKernel at 100 % occupancy.
+//! let mut rt = PagodaRuntime::titan_x();
+//!
+//! // Spawn 1000 narrow tasks (128 threads each) and wait for them.
+//! for _ in 0..1000 {
+//!     rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(200_000, 8.0)))
+//!         .unwrap();
+//! }
+//! rt.wait_all();
+//!
+//! let report = rt.report();
+//! assert_eq!(report.tasks, 1000);
+//! println!("makespan: {}, occupancy: {:.1}%",
+//!          report.makespan, report.avg_running_occupancy * 100.0);
+//! ```
+
+pub use baselines;
+pub use desim;
+pub use gpu_arch;
+pub use gpu_sim;
+pub use pagoda_core;
+pub use pcie;
+pub use workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use baselines::{
+        run_fusion, run_gemtc, run_hyperq, run_pagoda, run_pthreads, run_sequential, CpuConfig,
+        FusionConfig, GemtcConfig, HyperQConfig, RunSummary,
+    };
+    pub use desim::{Dur, SimTime};
+    pub use gpu_arch::{GpuSpec, TaskShape};
+    pub use gpu_sim::{BlockWork, DeviceConfig, GpuDevice, KernelDesc, Segment, WarpWork};
+    pub use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc, TaskError, TaskId};
+    pub use workloads::{Bench, GenOpts};
+}

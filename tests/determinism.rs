@@ -1,0 +1,59 @@
+//! Determinism: the whole stack — generators, DES engine, runtimes — must
+//! produce bit-identical results across repeated runs. This is what makes
+//! every figure in EXPERIMENTS.md reproducible.
+
+use pagoda::prelude::*;
+use workloads::Bench;
+
+fn run_pagoda_once(seed: u64) -> (u64, u64, u64) {
+    let opts = GenOpts { seed, ..GenOpts::default() };
+    let tasks = Bench::Mpe.tasks(256, &opts);
+    let r = run_pagoda(PagodaConfig::default(), &tasks);
+    (r.makespan.as_ps(), r.compute_done.as_ps(), r.tasks)
+}
+
+#[test]
+fn pagoda_runs_are_bit_identical() {
+    assert_eq!(run_pagoda_once(7), run_pagoda_once(7));
+}
+
+#[test]
+fn seeds_change_irregular_workloads() {
+    assert_ne!(run_pagoda_once(7), run_pagoda_once(8));
+}
+
+#[test]
+fn hyperq_and_gemtc_are_deterministic() {
+    let tasks = Bench::Des3.tasks(256, &GenOpts::default());
+    let a = run_hyperq(&HyperQConfig::default(), &tasks);
+    let b = run_hyperq(&HyperQConfig::default(), &tasks);
+    assert_eq!(a.makespan, b.makespan);
+    let mut cfg = GemtcConfig::default();
+    cfg.worker_threads = 128;
+    let c = run_gemtc(&cfg, &tasks);
+    let d = run_gemtc(&cfg, &tasks);
+    assert_eq!(c.makespan, d.makespan);
+}
+
+#[test]
+fn fusion_and_cpu_are_deterministic() {
+    let tasks = Bench::Mm.tasks(128, &GenOpts::default());
+    assert_eq!(
+        run_fusion(&FusionConfig::default(), &tasks, 256).makespan,
+        run_fusion(&FusionConfig::default(), &tasks, 256).makespan
+    );
+    assert_eq!(
+        run_pthreads(&CpuConfig::default(), &tasks).makespan,
+        run_pthreads(&CpuConfig::default(), &tasks).makespan
+    );
+}
+
+#[test]
+fn generator_determinism_across_all_benchmarks() {
+    for b in Bench::ALL {
+        let o = GenOpts::default();
+        let a: Vec<u64> = b.tasks(64, &o).iter().map(|t| t.total_instrs()).collect();
+        let c: Vec<u64> = b.tasks(64, &o).iter().map(|t| t.total_instrs()).collect();
+        assert_eq!(a, c, "{} generation must be deterministic", b.name());
+    }
+}

@@ -1,0 +1,66 @@
+//! Utilization claims from §2 and §6 of the paper, measured through the
+//! public API.
+
+use pagoda::prelude::*;
+use workloads::Bench;
+
+#[test]
+fn section2_occupancy_arithmetic() {
+    let g = GpuSpec::titan_x();
+    // One 256-thread task alone: 0.52 %.
+    assert!((g.occupancy(8) * 100.0 - 0.52).abs() < 0.01);
+    // 32 of them under HyperQ: 16.67 %.
+    assert!((g.occupancy(256) * 100.0 - 16.67).abs() < 0.01);
+    // The MasterKernel: 100 %.
+    let mk = TaskShape {
+        threads_per_tb: 1024,
+        num_tbs: 48,
+        regs_per_thread: 32,
+        smem_per_tb: 32 * 1024,
+    };
+    assert_eq!(g.occupancy_of(&mk).unwrap().occupancy, 1.0);
+}
+
+#[test]
+fn pagoda_sustains_higher_running_occupancy_than_hyperq() {
+    let tasks = Bench::Mb.tasks(2048, &GenOpts { with_io: false, ..GenOpts::default() });
+    let pg = run_pagoda(PagodaConfig::default(), &tasks);
+    let hq = run_hyperq(&HyperQConfig::default(), &tasks);
+    assert!(
+        pg.avg_running_occupancy > 2.0 * hq.avg_running_occupancy,
+        "Pagoda {:.3} vs HyperQ {:.3}",
+        pg.avg_running_occupancy,
+        hq.avg_running_occupancy
+    );
+}
+
+#[test]
+fn hyperq_occupancy_capped_by_32_kernels() {
+    // 128-thread kernels: 32 concurrent x 4 warps = 128 warps of 1536
+    // -> running occupancy can never exceed ~8.3 %.
+    let tasks: Vec<TaskDesc> = (0..2048)
+        .map(|_| TaskDesc::uniform(128, WarpWork::compute(2_000_000, 8.0)))
+        .collect();
+    let hq = run_hyperq(&HyperQConfig::default(), &tasks);
+    assert!(
+        hq.avg_running_occupancy < 0.1,
+        "got {:.3}",
+        hq.avg_running_occupancy
+    );
+}
+
+#[test]
+fn gemtc_reaches_full_residency_at_128_threads() {
+    // The paper's modified GeMTC: 128-thread workers give 16 TBs/SMM
+    // = 64 warps = 100 % resident occupancy, so on *regular* work its
+    // running occupancy is high.
+    let tasks: Vec<TaskDesc> = (0..4096)
+        .map(|_| TaskDesc::uniform(128, WarpWork::compute(2_000_000, 8.0)))
+        .collect();
+    let gm = run_gemtc(&GemtcConfig::default(), &tasks);
+    assert!(
+        gm.avg_running_occupancy > 0.5,
+        "got {:.3}",
+        gm.avg_running_occupancy
+    );
+}

@@ -1,0 +1,83 @@
+//! Property-based tests over the whole stack: random task mixes must
+//! always complete — no deadlock, no lost tasks, no protocol panic — and
+//! conservation laws must hold.
+
+use pagoda::prelude::*;
+use proptest::prelude::*;
+
+/// An arbitrary valid narrow task.
+fn arb_task() -> impl Strategy<Value = TaskDesc> {
+    (
+        1u32..=992,             // threads
+        0u64..400_000,          // instrs per warp
+        prop::bool::ANY,        // sync
+        0u32..=4,               // smem in 8KB units
+        0u64..32_768,           // input bytes
+        0u64..32_768,           // output bytes
+    )
+        .prop_map(|(threads, instrs, sync, smem8k, inb, outb)| {
+            let work = if sync && instrs > 0 {
+                WarpWork::phased(instrs, 3, 8.0)
+            } else {
+                WarpWork::compute(instrs, 8.0)
+            };
+            let mut t = TaskDesc::uniform(threads, work);
+            t.smem_per_tb = smem8k * 8 * 1024;
+            t.input_bytes = inb;
+            t.output_bytes = outb;
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs a full co-simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pagoda_completes_any_task_mix(tasks in prop::collection::vec(arb_task(), 1..60)) {
+        let n = tasks.len() as u64;
+        let r = run_pagoda(PagodaConfig::default(), &tasks);
+        prop_assert_eq!(r.tasks, n);
+        prop_assert!(r.compute_done.as_ps() <= r.makespan.as_ps());
+    }
+
+    #[test]
+    fn hyperq_completes_any_task_mix(tasks in prop::collection::vec(arb_task(), 1..60)) {
+        let r = run_hyperq(&HyperQConfig::default(), &tasks);
+        prop_assert_eq!(r.tasks, tasks.len() as u64);
+    }
+
+    #[test]
+    fn pagoda_makespan_is_monotone_in_prefixes(tasks in prop::collection::vec(arb_task(), 2..40)) {
+        // Running a prefix of the task list can never take (much) longer
+        // than the full list. "Much": the prefix's final task relies on
+        // the timeout-driven flush (§4.2.2) — a read-check-write over
+        // PCIe retried on 20 us polling ticks — while the full run's
+        // extra tasks advance the pipeline for free, so the prefix can
+        // legitimately trail by a handful of polling periods.
+        let half = tasks.len() / 2;
+        let full = run_pagoda(PagodaConfig::default(), &tasks);
+        let part = run_pagoda(PagodaConfig::default(), &tasks[..half.max(1)]);
+        let slack = desim::Dur::from_us(200);
+        prop_assert!(
+            part.makespan.as_ps() <= full.makespan.as_ps() + slack.as_ps(),
+            "prefix {} vs full {}", part.makespan, full.makespan
+        );
+    }
+
+    #[test]
+    fn cpu_model_is_additive(tasks in prop::collection::vec(arb_task(), 1..50)) {
+        // Sequential makespan equals the sum of task times *at the
+        // single-core rate* (one core alone is not bandwidth-capped).
+        let seq = run_sequential(&CpuConfig::default(), &tasks);
+        let one_core = CpuConfig { cores: 1, ..CpuConfig::default() };
+        let sum: f64 = tasks
+            .iter()
+            .map(|t| baselines::cpu::cpu_task_time(&one_core, t).as_secs_f64())
+            .sum();
+        let diff = (seq.makespan.as_secs_f64() - sum).abs();
+        prop_assert!(diff < 1e-9, "makespan {} vs sum {}", seq.makespan.as_secs_f64(), sum);
+    }
+}
