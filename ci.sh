@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Offline CI for the workspace: build, tests, formatting, lints.
+# Everything runs against the vendored path crates in vendor/ — no
+# network or registry access is required (or attempted: --offline).
+set -eu
+
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+
+# rustfmt / clippy are optional components; skip gracefully where absent.
+if cargo fmt --version >/dev/null 2>&1; then
+    run cargo fmt --all --check
+else
+    echo "==> cargo fmt unavailable; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --release --offline --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping"
+fi
+
+# Smoke the serving benchmark: must produce deterministic curves.
+run cargo run --release --offline -p pagoda-bench --bin serve_curves -- --quick --json >/dev/null
+
+echo "ci: all checks passed"

@@ -50,7 +50,8 @@ impl Default for CpuConfig {
 /// Effective per-core rate with all `cores` active: compute-bound alone,
 /// bandwidth-shared together.
 fn per_core_rate(cfg: &CpuConfig) -> f64 {
-    cfg.ops_per_sec.min(cfg.mem_bw_ops_per_sec / f64::from(cfg.cores))
+    cfg.ops_per_sec
+        .min(cfg.mem_bw_ops_per_sec / f64::from(cfg.cores))
 }
 
 /// One task's CPU duration under the model (all cores active). Uses the
@@ -94,7 +95,10 @@ pub fn run_pthreads(cfg: &CpuConfig, tasks: &[TaskDesc]) -> RunSummary {
 /// Sequential single-core execution (the speedup-of-1 baseline the paper's
 /// Fig. 5 bars normalize against).
 pub fn run_sequential(cfg: &CpuConfig, tasks: &[TaskDesc]) -> RunSummary {
-    let one_core = CpuConfig { cores: 1, ..cfg.clone() };
+    let one_core = CpuConfig {
+        cores: 1,
+        ..cfg.clone()
+    };
     run_pthreads(&one_core, tasks)
 }
 
@@ -142,7 +146,10 @@ mod tests {
     fn straggler_bounds_makespan() {
         let cfg = CpuConfig::default();
         let mut ts = tasks(19, 1_000);
-        ts.push(TaskDesc::uniform(128, WarpWork::compute(1_000_000_000, 1.0)));
+        ts.push(TaskDesc::uniform(
+            128,
+            WarpWork::compute(1_000_000_000, 1.0),
+        ));
         let s = run_pthreads(&cfg, &ts);
         let straggler = cpu_task_time(&cfg, &ts[19]);
         assert!(s.makespan >= straggler);

@@ -313,8 +313,10 @@ mod tests {
     #[test]
     fn batch_barrier_costs_on_imbalance() {
         // One straggler per batch: every batch takes the straggler's time.
-        let mut cfg = GemtcConfig::default();
-        cfg.worker_threads = 128;
+        let cfg = GemtcConfig {
+            worker_threads: 128,
+            ..GemtcConfig::default()
+        };
         let n_workers = 16 * 24;
         let mut tasks = narrow(n_workers * 2, 128, 1_000);
         tasks[0] = TaskDesc::uniform(128, WarpWork::compute(10_000_000, 4.0));

@@ -62,6 +62,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
 
     // Handles one notification batch; used both while the host is still
     // spawning (bounded co-simulation) and during the final drain.
+    #[allow(clippy::too_many_arguments)]
     fn handle(
         t: SimTime,
         batch: Vec<Notify>,
@@ -108,8 +109,15 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
         // kernels whose input copies have already landed.
         while let Some((et, batch)) = device.step_bounded(host_now) {
             handle(
-                et, batch, tasks, &mut device, &mut bus, d2h, &mut staged,
-                &mut gpu_done, &mut output_done,
+                et,
+                batch,
+                tasks,
+                &mut device,
+                &mut bus,
+                d2h,
+                &mut staged,
+                &mut gpu_done,
+                &mut output_done,
             );
         }
         spawn_time[i] = host_now;
@@ -126,7 +134,14 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
     // Drain the device, launching kernels as remaining inputs land.
     while let Some((t, batch)) = device.step() {
         handle(
-            t, batch, tasks, &mut device, &mut bus, d2h, &mut staged, &mut gpu_done,
+            t,
+            batch,
+            tasks,
+            &mut device,
+            &mut bus,
+            d2h,
+            &mut staged,
+            &mut gpu_done,
             &mut output_done,
         );
     }
@@ -142,7 +157,11 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
         .zip(&spawn_time)
         .map(|(d, s)| (d.unwrap() - *s).as_ps())
         .sum();
-    let compute_done = gpu_done.iter().map(|d| d.unwrap()).max().unwrap_or(SimTime::ZERO);
+    let compute_done = gpu_done
+        .iter()
+        .map(|d| d.unwrap())
+        .max()
+        .unwrap_or(SimTime::ZERO);
     RunSummary {
         makespan: end - SimTime::ZERO,
         compute_done,

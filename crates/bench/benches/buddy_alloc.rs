@@ -74,5 +74,10 @@ fn bench_fragmented_search(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_alloc_sizes, bench_full_pool_churn, bench_fragmented_search);
+criterion_group!(
+    benches,
+    bench_alloc_sizes,
+    bench_full_pool_churn,
+    bench_fragmented_search
+);
 criterion_main!(benches);

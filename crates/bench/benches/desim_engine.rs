@@ -75,5 +75,10 @@ fn bench_drain_full_run(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_schedule_pop, bench_cancel, bench_drain_full_run);
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_cancel,
+    bench_drain_full_run
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_mandelbrot(c: &mut Criterion) {
         h: 2.0,
     };
     let mut g = c.benchmark_group("kernels/mandelbrot");
-    g.throughput(Throughput::Elements((mandelbrot::DIM * mandelbrot::DIM) as u64));
+    g.throughput(Throughput::Elements(
+        (mandelbrot::DIM * mandelbrot::DIM) as u64,
+    ));
     g.bench_function("render_64x64", |b| {
         b.iter(|| black_box(mandelbrot::render(black_box(region), mandelbrot::DIM, 256)))
     });
@@ -64,14 +66,20 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_conv_and_fb(c: &mut Criterion) {
-    let img: Vec<u8> = (0..conv::DIM * conv::DIM).map(|i| (i % 255) as u8).collect();
+    let img: Vec<u8> = (0..conv::DIM * conv::DIM)
+        .map(|i| (i % 255) as u8)
+        .collect();
     let k = conv::box_kernel();
     c.bench_function("kernels/conv_128x128", |b| {
         b.iter(|| black_box(conv::convolve2d(black_box(&img), conv::DIM, &k)))
     });
 
-    let signal: Vec<f32> = (0..filterbank::N_SIM).map(|i| (i as f32 * 0.01).sin()).collect();
-    let h: Vec<f32> = (0..filterbank::N_COL).map(|i| 1.0 / (i + 1) as f32).collect();
+    let signal: Vec<f32> = (0..filterbank::N_SIM)
+        .map(|i| (i as f32 * 0.01).sin())
+        .collect();
+    let h: Vec<f32> = (0..filterbank::N_COL)
+        .map(|i| 1.0 / (i + 1) as f32)
+        .collect();
     c.bench_function("kernels/filterbank_2048", |b| {
         b.iter(|| black_box(filterbank::filterbank(black_box(&signal), &h, &h)))
     });
@@ -80,7 +88,13 @@ fn bench_conv_and_fb(c: &mut Criterion) {
 fn bench_lu(c: &mut Criterion) {
     let n = slud::TILE;
     let a: Vec<f32> = (0..n * n)
-        .map(|i| if i / n == i % n { 40.0 } else { (i % 5) as f32 * 0.1 })
+        .map(|i| {
+            if i / n == i % n {
+                40.0
+            } else {
+                (i % 5) as f32 * 0.1
+            }
+        })
         .collect();
     c.bench_function("kernels/dense_lu_32", |b| {
         b.iter(|| black_box(slud::dense_lu(black_box(&a), n)))

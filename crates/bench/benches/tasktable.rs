@@ -3,7 +3,7 @@
 //! TaskTable rows per column (the paper fixes 32; fewer rows force more
 //! frequent aggregate copy-backs).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 use gpu_sim::WarpWork;
 use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc};
 use std::hint::black_box;

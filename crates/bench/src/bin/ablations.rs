@@ -13,9 +13,9 @@
 //! 4. **PCIe transaction-overhead sensitivity**: the spawn path's
 //!    dependence on per-copy latency.
 
-use bench::{run_wave, Cli, Scheme};
 use desim::Dur;
 use gpu_sim::DeviceConfig;
+use pagoda_bench::{run_wave, Cli, Scheme};
 use pagoda_core::PagodaConfig;
 use workloads::{Bench, GenOpts};
 
@@ -39,8 +39,7 @@ fn main() {
                 ..GenOpts::default()
             },
         );
-        let blocks: Vec<gpu_sim::BlockWork> =
-            mb.iter().map(|t| t.blocks[0].clone()).collect();
+        let blocks: Vec<gpu_sim::BlockWork> = mb.iter().map(|t| t.blocks[0].clone()).collect();
         let shape = gpu_arch::TaskShape {
             threads_per_tb: 992,
             num_tbs: blocks.len() as u32,
@@ -102,7 +101,10 @@ fn main() {
     println!("Ablation 4 — PCIe per-transaction overhead (FB, {n} tasks)");
     {
         let tasks = Bench::Fb.tasks(n, &GenOpts::default());
-        println!("  {:>10} {:>14} {:>14}", "latency ns", "Pagoda ms", "HyperQ ms");
+        println!(
+            "  {:>10} {:>14} {:>14}",
+            "latency ns", "Pagoda ms", "HyperQ ms"
+        );
         for lat_ns in [200u64, 800, 3200] {
             let pcie = pcie::PcieConfig {
                 latency: Dur::from_ns(lat_ns),

@@ -6,7 +6,7 @@
 //! batch, so average latency grows linearly with the task count; Pagoda's
 //! per-task latency stays flat.
 
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
@@ -30,8 +30,22 @@ fn main() {
             let pag = run_wave(Scheme::Pagoda, &tasks);
             row.push(fus.mean_task_latency.as_us_f64());
             row.push(pag.mean_task_latency.as_us_f64());
-            points.push(DataPoint::new("fig10", b.name(), Scheme::Fusion(256), Some(n as u64), &fus, None));
-            points.push(DataPoint::new("fig10", b.name(), Scheme::Pagoda, Some(n as u64), &pag, None));
+            points.push(DataPoint::new(
+                "fig10",
+                b.name(),
+                Scheme::Fusion(256),
+                Some(n as u64),
+                &fus,
+                None,
+            ));
+            points.push(DataPoint::new(
+                "fig10",
+                b.name(),
+                Scheme::Pagoda,
+                Some(n as u64),
+                &pag,
+                None,
+            ));
         }
         println!(
             "{:>8} {:>14.1} {:>14.1} {:>14.1} {:>14.1}",

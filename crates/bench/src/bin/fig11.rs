@@ -8,7 +8,7 @@
 //! least from continuous spawning (regular, extremely short tasks); MPE
 //! benefits most (unbalanced tasks).
 
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
@@ -27,7 +27,9 @@ fn main() {
         Bench::Mpe,
     ];
 
-    println!("Fig. 11 — Continuous spawning + pipelined processing ({n} tasks, speedup over GeMTC)");
+    println!(
+        "Fig. 11 — Continuous spawning + pipelined processing ({n} tasks, speedup over GeMTC)"
+    );
     println!(
         "{:>6} | {:>8} {:>16} {:>8}",
         "bench", "GeMTC", "Pagoda-Batching", "Pagoda"

@@ -7,13 +7,16 @@
 //! HyperQ, 1.69× over GeMTC (geometric means).
 
 use baselines::geomean;
-use bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
+use pagoda_bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
     let cli = Cli::parse();
     println!("Fig. 5 — Overall Performance Comparison (speedup over sequential CPU)");
-    println!("{:>6} {:>8} | {:>10} {:>12} {:>10} {:>10}", "bench", "tasks", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda");
+    println!(
+        "{:>6} {:>8} | {:>10} {:>12} {:>10} {:>10}",
+        "bench", "tasks", "PThreads", "CUDA-HyperQ", "GeMTC", "Pagoda"
+    );
 
     let mut points = Vec::new();
     let (mut r_pth, mut r_hq, mut r_gm) = (Vec::new(), Vec::new(), Vec::new());
@@ -50,7 +53,8 @@ fn main() {
             tasks_total,
             su(&pth),
             su(&hq),
-            gm.as_ref().map_or("n/a".to_string(), |g| format!("{:.2}", su(g))),
+            gm.as_ref()
+                .map_or("n/a".to_string(), |g| format!("{:.2}", su(g))),
             su(&pg),
         );
 
@@ -68,7 +72,14 @@ fn main() {
             (Scheme::Pagoda, Some(&pg)),
         ] {
             if let Some(s) = s {
-                points.push(DataPoint::new("fig5", b.name(), scheme, None, s, Some(&seq)));
+                points.push(DataPoint::new(
+                    "fig5",
+                    b.name(),
+                    scheme,
+                    None,
+                    s,
+                    Some(&seq),
+                ));
             }
         }
     }

@@ -6,7 +6,7 @@
 //! HyperQ/GeMTC hold their own; beyond 512 Pagoda pulls ahead and scales
 //! almost linearly.
 
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
@@ -20,7 +20,10 @@ fn main() {
     let mut points = Vec::new();
     for b in [Bench::Mb, Bench::Conv, Bench::Dct, Bench::Des3, Bench::Mpe] {
         println!("--- {}", b.name());
-        println!("{:>8} {:>14} {:>12} {:>12}", "tasks", "CUDA-HyperQ", "GeMTC", "Pagoda");
+        println!(
+            "{:>8} {:>14} {:>12} {:>12}",
+            "tasks", "CUDA-HyperQ", "GeMTC", "Pagoda"
+        );
         for &n in &counts {
             let tasks = b.tasks(n, &GenOpts::default());
             let hq = run_wave(Scheme::HyperQ, &tasks);
@@ -33,7 +36,11 @@ fn main() {
                 gm.makespan.as_secs_f64() * 1e3,
                 pg.makespan.as_secs_f64() * 1e3,
             );
-            for (s, r) in [(Scheme::HyperQ, &hq), (Scheme::Gemtc, &gm), (Scheme::Pagoda, &pg)] {
+            for (s, r) in [
+                (Scheme::HyperQ, &hq),
+                (Scheme::Gemtc, &gm),
+                (Scheme::Pagoda, &pg),
+            ] {
                 points.push(DataPoint::new("fig6", b.name(), s, Some(n as u64), r, None));
             }
         }

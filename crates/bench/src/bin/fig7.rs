@@ -8,7 +8,7 @@
 //! becomes less severe); GeMTC barely changes with width.
 
 use baselines::geomean;
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
@@ -31,7 +31,10 @@ fn main() {
     let (mut r128_hq, mut r128_gm) = (Vec::new(), Vec::new());
     for b in benches {
         println!("--- {}", b.name());
-        println!("{:>8} {:>14} {:>12} {:>12}", "threads", "CUDA-HyperQ", "GeMTC", "Pagoda");
+        println!(
+            "{:>8} {:>14} {:>12} {:>12}",
+            "threads", "CUDA-HyperQ", "GeMTC", "Pagoda"
+        );
         for &w in &widths {
             let opts = GenOpts {
                 threads_per_task: w,
@@ -54,8 +57,19 @@ fn main() {
                 r128_hq.push(pg.compute_speedup_over(&hq));
                 r128_gm.push(pg.compute_speedup_over(&gm));
             }
-            for (s, r) in [(Scheme::HyperQ, &hq), (Scheme::Gemtc, &gm), (Scheme::Pagoda, &pg)] {
-                points.push(DataPoint::new("fig7", b.name(), s, Some(u64::from(w)), r, None));
+            for (s, r) in [
+                (Scheme::HyperQ, &hq),
+                (Scheme::Gemtc, &gm),
+                (Scheme::Pagoda, &pg),
+            ] {
+                points.push(DataPoint::new(
+                    "fig7",
+                    b.name(),
+                    s,
+                    Some(u64::from(w)),
+                    r,
+                    None,
+                ));
             }
         }
     }

@@ -9,8 +9,11 @@
 //! the benefit fades once HyperQ can fill the machine; warp-granularity
 //! scheduling keeps Pagoda competitive even at very wide tasks.
 
-use bench::{emit_json, reshape_task, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, reshape_task, run_wave, Cli, DataPoint, Scheme};
 use workloads::{conv, matmul, GenOpts};
+
+/// One benchmark family: name plus a task generator for a given input dim.
+type Case<'a> = (&'a str, Box<dyn Fn(usize) -> pagoda_core::TaskDesc>);
 
 fn main() {
     let cli = Cli::parse();
@@ -21,20 +24,28 @@ fn main() {
     let dims = [16usize, 32, 64, 128, 256];
     let threads = [256u32, 512, 1024, 4096, 16384];
 
-    println!("Fig. 8 — Pagoda compute speedup over CUDA-HyperQ (input size x threads/task, {n} tasks)");
+    println!(
+        "Fig. 8 — Pagoda compute speedup over CUDA-HyperQ (input size x threads/task, {n} tasks)"
+    );
     let mut points = Vec::new();
-    let cases: Vec<(&str, Box<dyn Fn(usize) -> pagoda_core::TaskDesc>)> = vec![
+    let cases: Vec<Case> = vec![
         (
             "MM",
             Box::new(|d: usize| {
-                let opts = GenOpts { with_io: false, ..GenOpts::default() };
+                let opts = GenOpts {
+                    with_io: false,
+                    ..GenOpts::default()
+                };
                 matmul::tasks_sized(1, d, &opts).remove(0)
             }),
         ),
         (
             "CONV",
             Box::new(|d: usize| {
-                let opts = GenOpts { with_io: false, ..GenOpts::default() };
+                let opts = GenOpts {
+                    with_io: false,
+                    ..GenOpts::default()
+                };
                 conv::tasks_sized(1, d, &opts).remove(0)
             }),
         ),
@@ -58,14 +69,8 @@ fn main() {
                 let pg = run_wave(Scheme::Pagoda, &pg_tasks);
                 let speedup = pg.compute_speedup_over(&hq);
                 print!("{speedup:>9.2}");
-                let mut p = DataPoint::new(
-                    "fig8",
-                    name,
-                    Scheme::Pagoda,
-                    Some(u64::from(t)),
-                    &pg,
-                    None,
-                );
+                let mut p =
+                    DataPoint::new("fig8", name, Scheme::Pagoda, Some(u64::from(t)), &pg, None);
                 p.speedup = speedup;
                 p.param = Some((d as u64) << 32 | u64::from(t));
                 points.push(p);

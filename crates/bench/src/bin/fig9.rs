@@ -8,7 +8,7 @@
 //! geomean over static fusion.
 
 use baselines::geomean;
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{irregular_tasks, Bench, GenOpts, ThreadPolicy};
 
 fn main() {
@@ -37,7 +37,10 @@ fn main() {
         // counts unchanged): Fig. 9's fusion-vs-runtime comparison is
         // about load imbalance inside the compute phase, so tasks must be
         // large enough that the spawn path is not the bottleneck.
-        let opts = GenOpts { work_scale: 6.0, ..GenOpts::default() };
+        let opts = GenOpts {
+            work_scale: 6.0,
+            ..GenOpts::default()
+        };
         let matched = irregular_tasks(b, n, ThreadPolicy::Matched, &opts);
         let fixed = irregular_tasks(b, n, ThreadPolicy::Fixed(256), &opts);
         let seq = run_wave(Scheme::Sequential, &matched);

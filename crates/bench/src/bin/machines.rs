@@ -5,9 +5,9 @@
 //! the K40's 15 SMMs), and the relative Pagoda-vs-HyperQ ordering must
 //! survive the architecture change.
 
-use bench::{run_wave, Cli, Scheme};
 use gpu_arch::GpuSpec;
 use gpu_sim::DeviceConfig;
+use pagoda_bench::{run_wave, Cli, Scheme};
 use pagoda_core::PagodaConfig;
 use workloads::{Bench, GenOpts};
 

@@ -8,7 +8,7 @@
 //! ```
 
 use baselines::RunSummary;
-use bench::{bench_waves, run_waves, Scheme};
+use pagoda_bench::{bench_waves, run_waves, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn usage() -> ! {
@@ -23,7 +23,9 @@ fn usage() -> ! {
 }
 
 fn parse_bench(s: &str) -> Option<Bench> {
-    Bench::ALL.into_iter().find(|b| b.name().eq_ignore_ascii_case(s))
+    Bench::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(s))
 }
 
 fn parse_scheme(s: &str) -> Option<Scheme> {
@@ -110,15 +112,26 @@ fn main() {
     for b in &benches {
         // GeMTC cannot take shared-memory tasks; fall back per scheme.
         let waves = bench_waves(*b, n, &opts);
-        let plain_opts = GenOpts { use_smem: false, ..opts.clone() };
+        let plain_opts = GenOpts {
+            use_smem: false,
+            ..opts.clone()
+        };
         let waves_plain = bench_waves(*b, n, &plain_opts);
         for s in &schemes {
             match s {
                 Scheme::Gemtc if !b.supports_gemtc() => {
-                    println!("{:>6} {:>16} | n/a (dynamic task count)", b.name(), s.name());
+                    println!(
+                        "{:>6} {:>16} | n/a (dynamic task count)",
+                        b.name(),
+                        s.name()
+                    );
                 }
                 Scheme::Fusion(_) if !b.supports_fusion() => {
-                    println!("{:>6} {:>16} | n/a (no static task list)", b.name(), s.name());
+                    println!(
+                        "{:>6} {:>16} | n/a (no static task list)",
+                        b.name(),
+                        s.name()
+                    );
                 }
                 Scheme::Gemtc => print_row(*b, *s, &run_waves(*s, &waves_plain)),
                 _ => print_row(*b, *s, &run_waves(*s, &waves)),

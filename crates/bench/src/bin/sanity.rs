@@ -4,7 +4,10 @@ use pagoda_core::PagodaConfig;
 use workloads::{Bench, GenOpts};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
     let opts = GenOpts::default();
     for b in [Bench::Fb, Bench::Mb, Bench::Dct, Bench::Mm] {
         let tasks = b.tasks(n, &opts);

@@ -2,7 +2,7 @@
 //! time spent in data copy vs computation, per benchmark, plus the static
 //! characteristics (task counts, sync/smem flags).
 
-use bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
+use pagoda_bench::{bench_waves, emit_json, run_waves, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {
@@ -39,7 +39,14 @@ fn main() {
             if b.uses_smem() { "yes" } else { "no" },
             if sample.sync { "yes" } else { "no" },
         );
-        points.push(DataPoint::new("table3", b.name(), Scheme::HyperQ, None, &hq, None));
+        points.push(DataPoint::new(
+            "table3",
+            b.name(),
+            Scheme::HyperQ,
+            None,
+            &hq,
+            None,
+        ));
     }
     emit_json(&cli, &points);
 }

@@ -6,7 +6,7 @@
 //! Paper: DCT 1.35×/25 % occ with smem vs 1.25×/97 % without; MM 1.51×/
 //! 97 % vs 1.20×/97 %.
 
-use bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
+use pagoda_bench::{emit_json, run_wave, Cli, DataPoint, Scheme};
 use workloads::{Bench, GenOpts};
 
 fn main() {

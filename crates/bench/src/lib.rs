@@ -57,8 +57,10 @@ pub fn run_wave(scheme: Scheme, tasks: &[TaskDesc]) -> RunSummary {
         Scheme::PThreads => run_pthreads(&CpuConfig::default(), tasks),
         Scheme::HyperQ => run_hyperq(&HyperQConfig::default(), tasks),
         Scheme::Gemtc => {
-            let mut cfg = GemtcConfig::default();
-            cfg.worker_threads = tasks.iter().map(|t| t.threads_per_tb).max().unwrap_or(128);
+            let cfg = GemtcConfig {
+                worker_threads: tasks.iter().map(|t| t.threads_per_tb).max().unwrap_or(128),
+                ..GemtcConfig::default()
+            };
             run_gemtc(&cfg, tasks)
         }
         Scheme::Pagoda => run_pagoda(PagodaConfig::default(), tasks),

@@ -53,7 +53,7 @@ pub mod trace;
 pub mod warptable;
 
 pub use config::PagodaConfig;
-pub use runtime::{PagodaRuntime, RunReport};
+pub use runtime::{PagodaRuntime, RunReport, TrySpawnError};
 pub use table::{EntryIndex, EntryState, Ready, TaskId};
-pub use trace::{write_chrome_trace, TaskTrace};
 pub use task::{TaskDesc, TaskError, MAX_THREADS_PER_TASK_TB};
+pub use trace::{write_chrome_trace, TaskTrace};

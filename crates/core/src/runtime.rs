@@ -104,6 +104,28 @@ pub struct RunReport {
     pub gpu_busy: Dur,
 }
 
+/// Why [`PagodaRuntime::try_spawn`] declined to spawn.
+#[derive(Debug)]
+pub enum TrySpawnError {
+    /// Every TaskTable entry is occupied in the CPU's current view. The
+    /// description is handed back so the caller can requeue it without a
+    /// clone; a [`PagodaRuntime::sync_table`] may reveal freed entries.
+    Full(TaskDesc),
+    /// The description can never spawn (shape/resource validation).
+    Invalid(TaskError),
+}
+
+impl std::fmt::Display for TrySpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySpawnError::Full(_) => write!(f, "task table full in the CPU view"),
+            TrySpawnError::Invalid(e) => write!(f, "invalid task: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrySpawnError {}
+
 /// The runtime. Create one per workload run; drive it with the Table 1
 /// API; read a [`RunReport`] at the end.
 #[derive(Debug)]
@@ -219,6 +241,72 @@ impl PagodaRuntime {
     /// Blocks only when every TaskTable entry is occupied (then performs
     /// the lazy aggregate copy-back of §4.2.2 to discover freed entries).
     pub fn task_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TaskError> {
+        self.validate_for_device(&desc)?;
+        self.host_advance(self.cfg.spawn_cpu_cost);
+        let entry = self.acquire_entry();
+        Ok(self.spawn_at(entry, desc))
+    }
+
+    /// Non-blocking `taskSpawn` probe: spawns only if the CPU's current
+    /// view of the TaskTable has a free entry, otherwise hands the
+    /// description back immediately with [`TrySpawnError::Full`].
+    ///
+    /// Unlike [`PagodaRuntime::task_spawn`], a full table costs *no*
+    /// simulated host time here — the caller decides whether to pay for a
+    /// [`PagodaRuntime::sync_table`] refresh, shed the task, or try again
+    /// later. This is the hook an admission controller in front of the
+    /// runtime builds on.
+    pub fn try_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TrySpawnError> {
+        if let Err(e) = self.validate_for_device(&desc) {
+            return Err(TrySpawnError::Invalid(e));
+        }
+        let Some(entry) = self.find_free_entry() else {
+            return Err(TrySpawnError::Full(desc));
+        };
+        self.host_advance(self.cfg.spawn_cpu_cost);
+        Ok(self.spawn_at(entry, desc))
+    }
+
+    /// Free TaskTable entries in the CPU's current view — how many
+    /// consecutive [`PagodaRuntime::try_spawn`] calls are guaranteed to
+    /// succeed before the next table refresh. The GPU may have freed more
+    /// (the CPU only learns via copy-backs; §4.2.2's lazy updates).
+    pub fn spawn_capacity(&self) -> u32 {
+        self.cpu_table.free_entries() as u32
+    }
+
+    /// Refreshes the CPU's view of the TaskTable: flushes the spawn
+    /// chain's tail if needed, then performs the aggregate D2H copy-back
+    /// of §4.2.2. Costs the simulated bus time of both transfers and
+    /// marks tasks whose entries the GPU freed as observably done.
+    pub fn sync_table(&mut self) {
+        self.flush_last();
+        self.copyback_all();
+    }
+
+    /// Advances the simulated host clock to `t` (no-op if in the past),
+    /// co-simulating the device up to that instant. Lets an external
+    /// driver (e.g. a serving layer's discrete-event loop) idle the host
+    /// until its next event.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.host_advance_to(t);
+    }
+
+    /// Whether the CPU has already observed `t`'s completion via a
+    /// copy-back. Free, unlike [`PagodaRuntime::check`] — it reads host
+    /// state and never touches the bus.
+    pub fn observed_done(&self, t: TaskId) -> bool {
+        self.tasks[(t.0 - TaskId::FIRST.0) as usize].observed_done
+    }
+
+    /// The configuration this runtime was booted with.
+    pub fn config(&self) -> &PagodaConfig {
+        &self.cfg
+    }
+
+    /// Shape/resource validation against this device (not just the
+    /// generic MTB bounds `TaskDesc::validate` enforces).
+    fn validate_for_device(&self, desc: &TaskDesc) -> Result<(), TaskError> {
         desc.validate()?;
         if desc.smem_per_tb > self.mtbs[0].buddy.pool_bytes() {
             // Smaller machines (K40) manage a smaller per-MTB slice than
@@ -227,9 +315,12 @@ impl PagodaRuntime {
                 requested: desc.smem_per_tb,
             });
         }
-        self.host_advance(self.cfg.spawn_cpu_cost);
+        Ok(())
+    }
 
-        let entry = self.acquire_entry();
+    /// The claim-and-copy spawn body shared by `task_spawn` and
+    /// `try_spawn`; `entry` must be free in the CPU view.
+    fn spawn_at(&mut self, entry: EntryIndex, desc: TaskDesc) -> TaskId {
         let id = TaskId(TaskId::FIRST.0 + self.tasks.len() as u64);
 
         let ready = match (self.chain_open, self.last_spawned) {
@@ -259,7 +350,10 @@ impl PagodaRuntime {
             tr.complete,
             HostEv::EntryVisible {
                 e: entry,
-                st: EntryState { ready, sched: false },
+                st: EntryState {
+                    ready,
+                    sched: false,
+                },
                 task: id,
             },
         );
@@ -280,7 +374,7 @@ impl PagodaRuntime {
             observed_done: false,
         });
         self.last_spawned = Some(id);
-        Ok(id)
+        id
     }
 
     /// `check`: non-blocking completion query (costs one TaskTable-entry
@@ -308,7 +402,10 @@ impl PagodaRuntime {
             iterations += 1;
             assert!(iterations < 100_000_000, "wait({t:?}) livelocked");
         }
-        let out = self.rec(t).output_done.expect("observed but no output time");
+        let out = self
+            .rec(t)
+            .output_done
+            .expect("observed but no output time");
         if out > self.host_now {
             self.host_advance_to(out);
         }
@@ -440,19 +537,10 @@ impl PagodaRuntime {
     /// a burst into one column would serialize the whole pipeline behind
     /// that single MTB's executor capacity.
     fn acquire_entry(&mut self) -> EntryIndex {
-        let cols = self.gpu_table.cols();
-        let rows = self.cfg.rows_per_column;
         let mut iterations = 0u64;
         loop {
-            for k in 0..cols {
-                let col = (self.spawn_cursor + k) % cols;
-                for row in 0..rows {
-                    let e = EntryIndex { col, row };
-                    if self.cpu_table.get(e).ready == Ready::Free {
-                        self.spawn_cursor = (col + 1) % cols;
-                        return e;
-                    }
-                }
+            if let Some(e) = self.find_free_entry() {
+                return e;
             }
             // Table full: the spawner must learn what the GPU freed
             // (§4.2.2 lazy aggregate update). A full table also means the
@@ -465,6 +553,25 @@ impl PagodaRuntime {
             iterations += 1;
             assert!(iterations < 100_000_000, "task table livelocked");
         }
+    }
+
+    /// One non-blocking pass of the round-robin column scan; claims
+    /// nothing, just locates a CPU-side free entry and advances the
+    /// cursor past its column.
+    fn find_free_entry(&mut self) -> Option<EntryIndex> {
+        let cols = self.gpu_table.cols();
+        let rows = self.cfg.rows_per_column;
+        for k in 0..cols {
+            let col = (self.spawn_cursor + k) % cols;
+            for row in 0..rows {
+                let e = EntryIndex { col, row };
+                if self.cpu_table.get(e).ready == Ready::Free {
+                    self.spawn_cursor = (col + 1) % cols;
+                    return Some(e);
+                }
+            }
+        }
+        None
     }
 
     /// Bulk D2H copy-back of the whole TaskTable; merges freed entries
@@ -663,9 +770,8 @@ impl PagodaRuntime {
         if let Some(job) = &self.mtbs[mi].job {
             let m = &self.mtbs[mi];
             return match job.phase {
-                JobPhase::NeedBarrier => {
-                    (m.barriers.available() > 0).then_some((Action::JobStep, c.barrier_alloc_cycles))
-                }
+                JobPhase::NeedBarrier => (m.barriers.available() > 0)
+                    .then_some((Action::JobStep, c.barrier_alloc_cycles)),
                 JobPhase::NeedSmem => {
                     let size = self.tasks[(job.task.0 - TaskId::FIRST.0) as usize]
                         .desc
@@ -748,7 +854,10 @@ impl PagodaRuntime {
         let phase = initial_phase(desc.sync, desc.smem_per_tb);
         let mi = entry.col as usize;
         let m = &mut self.mtbs[mi];
-        assert!(m.job.is_none(), "Algorithm 1 schedules entries sequentially");
+        assert!(
+            m.job.is_none(),
+            "Algorithm 1 schedules entries sequentially"
+        );
         m.job = Some(PlacementJob {
             entry,
             task,
@@ -773,7 +882,11 @@ impl PagodaRuntime {
             JobPhase::NeedBarrier => {
                 if let Some(b) = self.mtbs[mi].barriers.alloc() {
                     job.cur_bar = Some(b);
-                    job.phase = if smem > 0 { JobPhase::NeedSmem } else { JobPhase::Placing };
+                    job.phase = if smem > 0 {
+                        JobPhase::NeedSmem
+                    } else {
+                        JobPhase::Placing
+                    };
                 }
             }
             JobPhase::NeedSmem => {
@@ -797,7 +910,10 @@ impl PagodaRuntime {
                     let (tb, w) = if job.per_tb {
                         (job.next_tb, job.placed_in_unit)
                     } else {
-                        (job.placed_in_unit / warps_per_tb, job.placed_in_unit % warps_per_tb)
+                        (
+                            job.placed_in_unit / warps_per_tb,
+                            job.placed_in_unit % warps_per_tb,
+                        )
                     };
                     let sdata = Slot {
                         warp_id: tb * warps_per_tb + w,
@@ -853,7 +969,15 @@ impl PagodaRuntime {
     /// Dispatches one executor warp: builds its work (task kernel segments
     /// plus the completion epilogue of Algorithm 1 lines 34-43) and assigns
     /// it in the device.
-    fn assign_exec(&mut self, time: SimTime, mi: usize, slot: usize, task: TaskId, tb: u32, w: u32) {
+    fn assign_exec(
+        &mut self,
+        time: SimTime,
+        mi: usize,
+        slot: usize,
+        task: TaskId,
+        tb: u32,
+        w: u32,
+    ) {
         let tix = (task.0 - TaskId::FIRST.0) as usize;
         let mut work = self.tasks[tix].desc.blocks[tb as usize].warps()[w as usize].clone();
         work.segments
@@ -918,5 +1042,91 @@ fn initial_phase(sync: bool, smem: u32) -> JobPhase {
         JobPhase::NeedSmem
     } else {
         JobPhase::Placing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WarpWork;
+
+    fn tiny_task() -> TaskDesc {
+        TaskDesc::uniform(32, WarpWork::compute(10_000, 2.0))
+    }
+
+    #[test]
+    fn try_spawn_fills_table_then_reports_full() {
+        let mut rt = PagodaRuntime::titan_x();
+        let total = rt.config().total_entries();
+        assert_eq!(rt.spawn_capacity(), total);
+
+        let mut ids = Vec::new();
+        for i in 0..total {
+            assert_eq!(rt.spawn_capacity(), total - i);
+            ids.push(rt.try_spawn(tiny_task()).expect("free entry available"));
+        }
+        assert_eq!(rt.spawn_capacity(), 0);
+
+        // Table full in the CPU view: the probe declines without blocking
+        // and without consuming simulated time, handing the desc back.
+        let before = rt.host_now();
+        match rt.try_spawn(tiny_task()) {
+            Err(TrySpawnError::Full(desc)) => assert_eq!(desc.threads_per_tb, 32),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rt.host_now(), before);
+
+        // A sync (plus timeout-paced retries while the GPU drains) must
+        // eventually reveal freed entries, unblocking the probe.
+        let mut iterations = 0;
+        loop {
+            rt.sync_table();
+            if rt.spawn_capacity() > 0 {
+                break;
+            }
+            rt.advance_to(rt.host_now() + rt.config().wait_timeout);
+            iterations += 1;
+            assert!(iterations < 100_000, "table never drained");
+        }
+        rt.try_spawn(tiny_task()).expect("capacity after sync");
+        rt.wait_all();
+        assert_eq!(rt.report().tasks, u64::from(total) + 1);
+    }
+
+    #[test]
+    fn try_spawn_rejects_invalid_desc() {
+        let mut rt = PagodaRuntime::titan_x();
+        let mut bad = tiny_task();
+        bad.num_tbs = 3; // blocks.len() still 1
+        match rt.try_spawn(bad) {
+            Err(TrySpawnError::Invalid(TaskError::ShapeMismatch)) => {}
+            other => panic!("expected Invalid(ShapeMismatch), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_spawn_matches_task_spawn_timeline() {
+        // The non-blocking path must produce the same simulation as the
+        // blocking path while the table has room.
+        let mut a = PagodaRuntime::titan_x();
+        let mut b = PagodaRuntime::titan_x();
+        for _ in 0..64 {
+            a.task_spawn(tiny_task()).unwrap();
+            b.try_spawn(tiny_task()).unwrap();
+        }
+        a.wait_all();
+        b.wait_all();
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.makespan, rb.makespan);
+        assert_eq!(ra.tasks, rb.tasks);
+    }
+
+    #[test]
+    fn observed_done_tracks_copybacks_only() {
+        let mut rt = PagodaRuntime::titan_x();
+        let t = rt.task_spawn(tiny_task()).unwrap();
+        assert!(!rt.observed_done(t));
+        rt.wait(t);
+        assert!(rt.observed_done(t));
     }
 }

@@ -133,7 +133,10 @@ impl TaskTableSide {
             matches!(ready, Ready::Copied | Ready::Ref(_)),
             "illegal spawn ready value {ready:?}"
         );
-        self.entries[i] = EntryState { ready, sched: false };
+        self.entries[i] = EntryState {
+            ready,
+            sched: false,
+        };
     }
 
     /// GPU chain step, previous entry (Algorithm 1, lines 12-13):
@@ -235,17 +238,38 @@ mod tests {
         let id_a = TaskId::FIRST;
 
         // H2D copies arrive:
-        t.set(ta, EntryState { ready: Ready::Copied, sched: false });
-        t.set(tb, EntryState { ready: Ready::Ref(id_a), sched: false });
+        t.set(
+            ta,
+            EntryState {
+                ready: Ready::Copied,
+                sched: false,
+            },
+        );
+        t.set(
+            tb,
+            EntryState {
+                ready: Ready::Ref(id_a),
+                sched: false,
+            },
+        );
 
         // S2 (TB's scheduler) sees Ref(TA): marks TA schedulable, settles TB.
         t.chain_mark_schedulable(ta);
         t.chain_settle(tb);
         assert_eq!(
             t.get(ta),
-            EntryState { ready: Ready::Scheduling, sched: true }
+            EntryState {
+                ready: Ready::Scheduling,
+                sched: true
+            }
         );
-        assert_eq!(t.get(tb), EntryState { ready: Ready::Copied, sched: false });
+        assert_eq!(
+            t.get(tb),
+            EntryState {
+                ready: Ready::Copied,
+                sched: false
+            }
+        );
 
         // S1 schedules TA: clears sched, runs, completes.
         t.clear_sched(ta);

@@ -2,8 +2,8 @@
 //! transition graph of Fig. 2a is closed (no sequence of legal operations
 //! reaches an illegal state), and the CPU/GPU ownership split holds.
 
-use pagoda_core::{EntryIndex, EntryState, Ready, TaskId};
 use pagoda_core::table::TaskTableSide;
+use pagoda_core::{EntryIndex, EntryState, Ready, TaskId};
 use proptest::prelude::*;
 
 // Drive one entry through its legal lifecycle a random number of times,

@@ -68,15 +68,24 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::BadBlockSize { threads_per_tb, max } => {
+            LaunchError::BadBlockSize {
+                threads_per_tb,
+                max,
+            } => {
                 write!(f, "threadblock size {threads_per_tb} outside 1..={max}")
             }
             LaunchError::EmptyGrid => write!(f, "kernel launched with zero threadblocks"),
             LaunchError::SmemPerBlockTooLarge { requested, max } => {
-                write!(f, "shared memory {requested} B/block exceeds SMM capacity {max} B")
+                write!(
+                    f,
+                    "shared memory {requested} B/block exceeds SMM capacity {max} B"
+                )
             }
             LaunchError::RegsPerBlockTooLarge { requested, max } => {
-                write!(f, "register footprint {requested}/block exceeds SMM file {max}")
+                write!(
+                    f,
+                    "register footprint {requested}/block exceeds SMM file {max}"
+                )
             }
         }
     }
@@ -167,9 +176,9 @@ impl GpuSpec {
         let by_threads = self.max_threads_per_sm / shape.threads_per_tb;
         let by_blocks = self.max_tbs_per_sm;
         let regs = self.regs_per_tb(shape);
-        let by_regs = if regs == 0 { u32::MAX } else { self.regs_per_sm / regs };
+        let by_regs = self.regs_per_sm.checked_div(regs).unwrap_or(u32::MAX);
         let smem = self.smem_per_tb(shape);
-        let by_smem = if smem == 0 { u32::MAX } else { self.smem_per_sm / smem };
+        let by_smem = self.smem_per_sm.checked_div(smem).unwrap_or(u32::MAX);
 
         let (tbs, limiter) = [
             (by_warps, Limiter::Warps),

@@ -602,7 +602,8 @@ impl GpuDevice {
         self.exec.advance_sm(sm, now);
         let block = self.kernels[kid as usize].desc.blocks[tb_index].clone();
         for (w, work) in warps.iter().zip(block.warps().iter().cloned()) {
-            self.exec.assign(now, *w, work, NATIVE_BIT | u64::from(tb_id));
+            self.exec
+                .assign(now, *w, work, NATIVE_BIT | u64::from(tb_id));
         }
     }
 
@@ -762,8 +763,14 @@ mod tests {
         // 1024 = 8x the 128 lanes -> per-warp rate 128e9/32 = 4e9;
         // 32000/4e9 = 8us. First two finish at 8us, next two at 16us.
         let t: Vec<f64> = done.iter().map(|(_, t)| t.as_us_f64()).collect();
-        assert!((t[0] - 8.0).abs() < 0.1 && (t[1] - 8.0).abs() < 0.1, "{t:?}");
-        assert!((t[2] - 16.0).abs() < 0.1 && (t[3] - 16.0).abs() < 0.1, "{t:?}");
+        assert!(
+            (t[0] - 8.0).abs() < 0.1 && (t[1] - 8.0).abs() < 0.1,
+            "{t:?}"
+        );
+        assert!(
+            (t[2] - 16.0).abs() < 0.1 && (t[3] - 16.0).abs() < 0.1,
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -931,7 +938,10 @@ mod tests {
             smem_per_tb: 100 * 1024,
         };
         let k = KernelDesc::uniform(
-            TaskShape { smem_per_tb: 0, ..bad },
+            TaskShape {
+                smem_per_tb: 0,
+                ..bad
+            },
             WarpWork::compute(1, 1.0),
             0,
         );
@@ -955,6 +965,10 @@ mod tests {
         let done = run_all(&mut dev);
         assert_eq!(done.len(), 48);
         let last = done.last().unwrap().1;
-        assert!((last.as_us_f64() - 4.0).abs() < 0.05, "{}", last.as_us_f64());
+        assert!(
+            (last.as_us_f64() - 4.0).abs() < 0.05,
+            "{}",
+            last.as_us_f64()
+        );
     }
 }

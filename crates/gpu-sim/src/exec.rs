@@ -242,9 +242,8 @@ impl ExecState {
         sme.running_integral += nrun as f64 * dt as f64;
         if nrun > 0 {
             sme.busy_ps += dt;
-            let cap = self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz
-                / 1000.0
-                / nrun as f64;
+            let cap =
+                self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz / 1000.0 / nrun as f64;
             let run = sme.running.clone();
             for w in run {
                 let c = &mut self.warps[w.0 as usize];
@@ -501,7 +500,11 @@ mod tests {
             ex.assign(SimTime::ZERO, w, WarpWork::compute(32_000, 4.0), i);
         }
         let (t, _) = run_sm(&mut ex, 0, SimTime::ZERO);
-        assert!((t.as_us_f64() - 4.0).abs() < 0.01, "took {}us", t.as_us_f64());
+        assert!(
+            (t.as_us_f64() - 4.0).abs() < 0.01,
+            "took {}us",
+            t.as_us_f64()
+        );
     }
 
     #[test]
@@ -518,7 +521,11 @@ mod tests {
         let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
         assert_eq!(tags.len(), 2);
         // warp0: 2 phases x 32000 ti @ CPI4 = 8us total; warp1 waits.
-        assert!((t.as_us_f64() - 8.0).abs() < 0.05, "took {}us", t.as_us_f64());
+        assert!(
+            (t.as_us_f64() - 8.0).abs() < 0.05,
+            "took {}us",
+            t.as_us_f64()
+        );
     }
 
     #[test]
@@ -551,7 +558,11 @@ mod tests {
         }
         let (t, tags) = run_sm(&mut ex, 0, SimTime::ZERO);
         assert_eq!(tags, vec![0, 1, 2, 3], "shortest-first completion order");
-        assert!((t.as_ns_f64() - 125.0).abs() < 1.0, "took {}ns", t.as_ns_f64());
+        assert!(
+            (t.as_ns_f64() - 125.0).abs() < 1.0,
+            "took {}ns",
+            t.as_ns_f64()
+        );
     }
 
     #[test]

@@ -213,7 +213,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn mismatched_barrier_counts_rejected() {
-        BlockWork::new(vec![WarpWork::compute(10, 1.0), WarpWork::phased(10, 2, 1.0)]);
+        BlockWork::new(vec![
+            WarpWork::compute(10, 1.0),
+            WarpWork::phased(10, 2, 1.0),
+        ]);
     }
 
     #[test]

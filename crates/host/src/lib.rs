@@ -152,7 +152,9 @@ impl HostPagoda {
     pub fn wait(&self, handle: &TaskHandle) {
         let mut guard = self.shared.idle_lock.lock();
         while !handle.is_done() {
-            self.shared.done_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+            self.shared
+                .done_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
         }
     }
 
@@ -162,7 +164,9 @@ impl HostPagoda {
         while self.shared.completed.load(Ordering::Acquire)
             < self.shared.spawned.load(Ordering::Acquire)
         {
-            self.shared.done_cv.wait_for(&mut guard, std::time::Duration::from_millis(1));
+            self.shared
+                .done_cv
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
         }
     }
 

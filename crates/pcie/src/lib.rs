@@ -149,7 +149,11 @@ impl PcieBus {
     ) -> Transfer {
         assert!(stream.0 < self.next_stream, "foreign StreamId {stream:?}");
         let ch = dir.idx();
-        let tail = self.stream_tail.get(&stream).copied().unwrap_or(SimTime::ZERO);
+        let tail = self
+            .stream_tail
+            .get(&stream)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let start = now.max(self.channel_free[ch]).max(tail);
         let bw = match dir {
             Direction::HostToDevice => self.cfg.bw_h2d,
@@ -255,7 +259,9 @@ mod tests {
         let s = b.create_stream();
         let mut t_small = SimTime::ZERO;
         for _ in 0..32 {
-            t_small = b.transfer(t_small, s, Direction::DeviceToHost, 256).complete;
+            t_small = b
+                .transfer(t_small, s, Direction::DeviceToHost, 256)
+                .complete;
         }
         let mut b2 = bus();
         let s2 = b2.create_stream();

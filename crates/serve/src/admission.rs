@@ -1,0 +1,129 @@
+//! Bounded-queue admission control with explicit shedding.
+//!
+//! Each tenant owns a queue budget (`queue_cap`). An arrival is admitted
+//! iff its tenant's queued-but-unspawned count is below budget; otherwise
+//! it is **shed** — rejected immediately with backpressure, never queued.
+//! Shedding at the door is what keeps tail latency of *admitted* work
+//! bounded when the offered load exceeds the TaskTable's drain rate: the
+//! queue ahead of any admitted task is never longer than the budget.
+//!
+//! Spawning a task (moving it from the queue into the 48×32 TaskTable)
+//! returns its slot to the budget — occupancy of the table itself is
+//! accounted by the runtime, not here.
+
+/// Per-tenant bounded-queue bookkeeping.
+#[derive(Debug)]
+pub struct Admission {
+    caps: Vec<usize>,
+    queued: Vec<usize>,
+    offered: Vec<u64>,
+    admitted: Vec<u64>,
+    shed: Vec<u64>,
+    max_depth: Vec<usize>,
+}
+
+impl Admission {
+    /// A controller with one queue budget per tenant. `usize::MAX`
+    /// disables shedding for that tenant (the divergence baseline).
+    pub fn new(caps: &[usize]) -> Self {
+        let n = caps.len();
+        Admission {
+            caps: caps.to_vec(),
+            queued: vec![0; n],
+            offered: vec![0; n],
+            admitted: vec![0; n],
+            shed: vec![0; n],
+            max_depth: vec![0; n],
+        }
+    }
+
+    /// Offers one arrival; returns whether it may join the queue.
+    pub fn offer(&mut self, tenant: usize) -> bool {
+        self.offered[tenant] += 1;
+        if self.queued[tenant] >= self.caps[tenant] {
+            self.shed[tenant] += 1;
+            return false;
+        }
+        self.queued[tenant] += 1;
+        self.admitted[tenant] += 1;
+        self.max_depth[tenant] = self.max_depth[tenant].max(self.queued[tenant]);
+        true
+    }
+
+    /// Records that one of `tenant`'s queued tasks left the queue (it
+    /// spawned or was cancelled), freeing budget.
+    pub fn on_dequeue(&mut self, tenant: usize) {
+        debug_assert!(self.queued[tenant] > 0, "dequeue from empty budget");
+        self.queued[tenant] -= 1;
+    }
+
+    /// Returns a popped-but-unspawned task's slot to the queue count
+    /// (the dispatcher hit a full TaskTable and put the task back).
+    /// Unlike [`Admission::offer`], no counter moves — the task was
+    /// already admitted.
+    pub fn requeue(&mut self, tenant: usize) {
+        self.queued[tenant] += 1;
+        self.max_depth[tenant] = self.max_depth[tenant].max(self.queued[tenant]);
+    }
+
+    /// Arrivals offered by `tenant` so far.
+    pub fn offered(&self, tenant: usize) -> u64 {
+        self.offered[tenant]
+    }
+
+    /// Arrivals admitted for `tenant` so far.
+    pub fn admitted(&self, tenant: usize) -> u64 {
+        self.admitted[tenant]
+    }
+
+    /// Arrivals shed for `tenant` so far.
+    pub fn shed(&self, tenant: usize) -> u64 {
+        self.shed[tenant]
+    }
+
+    /// Current queued (admitted, unspawned) tasks of `tenant`.
+    pub fn depth(&self, tenant: usize) -> usize {
+        self.queued[tenant]
+    }
+
+    /// High-water mark of `tenant`'s queue depth.
+    pub fn max_depth(&self, tenant: usize) -> usize {
+        self.max_depth[tenant]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_above_cap_and_recovers_on_dequeue() {
+        let mut a = Admission::new(&[2]);
+        assert!(a.offer(0));
+        assert!(a.offer(0));
+        assert!(!a.offer(0), "third arrival must shed at cap 2");
+        assert_eq!((a.admitted(0), a.shed(0), a.offered(0)), (2, 1, 3));
+        a.on_dequeue(0);
+        assert!(a.offer(0), "budget freed by dequeue");
+        assert_eq!(a.max_depth(0), 2);
+    }
+
+    #[test]
+    fn unbounded_tenant_never_sheds() {
+        let mut a = Admission::new(&[usize::MAX]);
+        for _ in 0..10_000 {
+            assert!(a.offer(0));
+        }
+        assert_eq!(a.shed(0), 0);
+        assert_eq!(a.depth(0), 10_000);
+    }
+
+    #[test]
+    fn budgets_are_per_tenant() {
+        let mut a = Admission::new(&[1, 1]);
+        assert!(a.offer(0));
+        assert!(a.offer(1), "tenant 1 unaffected by tenant 0's backlog");
+        assert!(!a.offer(0));
+        assert!(!a.offer(1));
+    }
+}

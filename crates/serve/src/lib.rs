@@ -1,0 +1,61 @@
+//! **pagoda-serve** — a multi-tenant task-serving front-end for the
+//! Pagoda runtime.
+//!
+//! The paper evaluates Pagoda with closed batches: spawn 32 K tasks,
+//! `waitAll`, measure. Real deployments of a narrow-task GPU runtime
+//! (packet pipelines, camera fleets, inference micro-ops) face the
+//! opposite shape: *open-loop* streams from several tenants, each with
+//! its own burstiness and latency expectations, all contending for the
+//! same 48×32 TaskTable. This crate supplies the serving layer between
+//! those clients and [`pagoda_core::runtime`]:
+//!
+//! * [`arrival`] — seeded Poisson and 2-state MMPP (bursty) arrival
+//!   generators per tenant;
+//! * [`admission`] — bounded per-tenant queues with explicit shedding,
+//!   the backpressure that keeps admitted-task tail latency finite when
+//!   offered load exceeds the table's drain rate;
+//! * [`qos`] — a pluggable [`qos::QosScheduler`] trait with FIFO,
+//!   weighted-fair (starvation-free by construction), and
+//!   earliest-deadline-first policies, plus per-task deadlines that can
+//!   cancel work already stale at dispatch;
+//! * [`metrics`] — serde-serializable per-task records and per-tenant
+//!   p50/p95/p99 sojourn aggregates, integrated with
+//!   [`pagoda_core::trace`] timelines;
+//! * [`server`] — the deterministic discrete-event loop driving the
+//!   runtime through its non-blocking spawn probes
+//!   ([`pagoda_core::PagodaRuntime::try_spawn`] /
+//!   [`pagoda_core::PagodaRuntime::spawn_capacity`]).
+//!
+//! Same config + same seed ⇒ byte-identical records; the serving layer
+//! inherits the determinism of the simulation substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use pagoda_serve::{serve, Policy, ServeConfig, TenantSpec};
+//! use workloads::Bench;
+//!
+//! let mut video = TenantSpec::new("video", Bench::Dct, 4.0e5);
+//! video.weight = 3;
+//! let crypto = TenantSpec::new("crypto", Bench::Des3, 8.0e5);
+//!
+//! let mut cfg = ServeConfig::new(vec![video, crypto], Policy::WeightedFair);
+//! cfg.tasks_per_tenant = 64; // keep the doctest quick
+//! let out = serve(&cfg);
+//! let total: u64 = out.report.tenants.iter().map(|t| t.offered).sum();
+//! assert_eq!(total, 128);
+//! ```
+
+pub mod admission;
+pub mod arrival;
+pub mod metrics;
+pub mod qos;
+pub mod server;
+
+pub use admission::Admission;
+pub use arrival::{ArrivalGen, ArrivalSpec};
+pub use metrics::{percentile, Outcome, ServeReport, TaskRecord, TenantReport};
+pub use qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
+pub use server::{
+    calibrate_capacity, serve, serving_slice, Policy, ServeConfig, ServeOutcome, TenantSpec,
+};

@@ -1,0 +1,505 @@
+//! The serving loop: simulated clients → admission → QoS queue →
+//! [`PagodaRuntime`].
+//!
+//! [`serve`] runs one experiment as a discrete-event co-simulation on the
+//! runtime's own clock. Per iteration it
+//!
+//! 1. **admits** every arrival whose instant has passed — each tenant's
+//!    stream is open-loop, so arrivals keep coming regardless of backlog,
+//!    and the bounded queue sheds what does not fit;
+//! 2. **dispatches** queued tasks through the configured
+//!    [`QosScheduler`] into the TaskTable via the runtime's non-blocking
+//!    [`PagodaRuntime::try_spawn`], until the table is full or the queue
+//!    is empty;
+//! 3. **retires** tasks whose completion the host has observed;
+//! 4. **advances time** — to the next arrival when idle, or through a
+//!    [`PagodaRuntime::sync_table`] refresh plus timeout slice when
+//!    blocked on table capacity (the serving-side mirror of the
+//!    runtime's own §4.2.2 lazy aggregate copy-back loop).
+//!
+//! Everything is a pure function of the [`ServeConfig`] (including its
+//! seed): two runs produce byte-identical metric records.
+
+use desim::Dur;
+use pagoda_core::trace::TaskTrace;
+use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc, TaskId, TrySpawnError};
+use workloads::{Bench, GenOpts};
+
+use crate::admission::Admission;
+use crate::arrival::{ArrivalGen, ArrivalSpec};
+use crate::metrics::{tenant_report, Outcome, ServeReport, TaskRecord};
+use crate::qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
+
+/// One tenant of the serving experiment.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name.
+    pub name: String,
+    /// Weighted-fair share (ignored by FIFO/EDF).
+    pub weight: u32,
+    /// Queue budget for admission control; `usize::MAX` disables
+    /// shedding (the divergence baseline).
+    pub queue_cap: usize,
+    /// Relative completion deadline per task, if any (EDF priority and
+    /// miss accounting).
+    pub deadline: Option<Dur>,
+    /// The tenant's arrival process.
+    pub arrival: ArrivalSpec,
+    /// Which benchmark's tasks the tenant submits.
+    pub bench: Bench,
+    /// Workload generator knobs.
+    pub gen: GenOpts,
+    /// Arrivals this tenant generates; `None` uses the experiment-wide
+    /// [`ServeConfig::tasks_per_tenant`]. Setting counts proportional to
+    /// each tenant's arrival rate makes all streams span the same wall
+    /// clock window, which keeps the aggregate offered rate constant for
+    /// the whole run instead of decaying as fast tenants finish early.
+    pub tasks: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A tenant with sensible defaults: weight 1, 64-deep queue, no
+    /// deadline, Poisson arrivals at `rate_per_s`.
+    pub fn new(name: &str, bench: Bench, rate_per_s: f64) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight: 1,
+            queue_cap: 64,
+            deadline: None,
+            arrival: ArrivalSpec::Poisson { rate_per_s },
+            bench,
+            gen: GenOpts::default(),
+            tasks: None,
+        }
+    }
+}
+
+/// Which QoS discipline orders the admitted queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Global arrival order.
+    Fifo,
+    /// Weighted round-robin over per-tenant queues.
+    WeightedFair,
+    /// Earliest absolute deadline first.
+    Edf,
+}
+
+impl Policy {
+    /// Display name, as emitted in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::WeightedFair => "wfq",
+            Policy::Edf => "edf",
+        }
+    }
+
+    /// Instantiates the scheduler for a tenant set.
+    pub fn scheduler(self, weights: &[u32]) -> Box<dyn QosScheduler> {
+        match self {
+            Policy::Fifo => Box::new(Fifo::new()),
+            Policy::WeightedFair => Box::new(WeightedFair::new(weights)),
+            Policy::Edf => Box::new(Edf::new()),
+        }
+    }
+}
+
+/// A complete serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+    /// Queue discipline.
+    pub policy: Policy,
+    /// Cancel tasks whose deadline already passed when they reach the
+    /// head of the queue (counted as `expired`, never spawned).
+    pub cancel_late: bool,
+    /// Open-loop arrivals generated per tenant.
+    pub tasks_per_tenant: usize,
+    /// Master seed; all arrival streams and workloads derive from it.
+    pub seed: u64,
+    /// Label for the tenant mix, carried into the report.
+    pub mix: String,
+    /// Offered-load label relative to calibrated capacity (reporting
+    /// only; the actual rates live in each tenant's [`ArrivalSpec`]).
+    pub offered_load: f64,
+    /// Runtime/device configuration.
+    pub runtime: PagodaConfig,
+}
+
+impl ServeConfig {
+    /// An experiment with default runtime, seed 42, 256 tasks/tenant.
+    pub fn new(tenants: Vec<TenantSpec>, policy: Policy) -> Self {
+        ServeConfig {
+            tenants,
+            policy,
+            cancel_late: false,
+            tasks_per_tenant: 256,
+            seed: 42,
+            mix: String::new(),
+            offered_load: 0.0,
+            runtime: PagodaConfig::default(),
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Aggregated metrics.
+    pub report: ServeReport,
+    /// One record per offered arrival, in arrival order.
+    pub records: Vec<TaskRecord>,
+    /// Runtime-level timelines of every *spawned* task, in spawn order
+    /// (feed to [`pagoda_core::trace::write_chrome_trace`]).
+    pub traces: Vec<TaskTrace>,
+}
+
+struct Arrival {
+    at: desim::SimTime,
+    tenant: usize,
+    desc: TaskDesc,
+}
+
+struct InFlight {
+    id: TaskId,
+    seq: usize,
+    tenant: usize,
+    arrival: desim::SimTime,
+    deadline: Option<desim::SimTime>,
+}
+
+/// Runs one serving experiment to completion (all arrivals resolved:
+/// completed, shed, or expired) and aggregates its metrics.
+///
+/// # Panics
+/// Panics on an empty tenant list or a workload that produces an
+/// invalid [`TaskDesc`].
+pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
+    assert!(!cfg.tenants.is_empty(), "serve needs at least one tenant");
+    let nt = cfg.tenants.len();
+    let mut rt = PagodaRuntime::new(cfg.runtime.clone());
+    let total_entries = f64::from(rt.config().total_entries());
+    let wait_timeout = rt.config().wait_timeout;
+
+    // ---- client side: pre-generate every tenant's timeline -----------
+    let mut all: Vec<Arrival> = Vec::with_capacity(nt * cfg.tasks_per_tenant);
+    for (ti, t) in cfg.tenants.iter().enumerate() {
+        let mut gen = t.gen.clone();
+        gen.seed ^= splitmix(cfg.seed ^ splitmix(ti as u64));
+        let descs = t.bench.tasks(t.tasks.unwrap_or(cfg.tasks_per_tenant), &gen);
+        let mut ag = ArrivalGen::new(t.arrival, splitmix(cfg.seed).wrapping_add(ti as u64));
+        for desc in descs {
+            all.push(Arrival {
+                at: ag.next_arrival(),
+                tenant: ti,
+                desc,
+            });
+        }
+    }
+    // Stable merge: time, then tenant index (each tenant's own stream is
+    // strictly increasing, so this is a total order).
+    all.sort_by_key(|a| (a.at, a.tenant));
+
+    // ---- server state ------------------------------------------------
+    let weights: Vec<u32> = cfg.tenants.iter().map(|t| t.weight).collect();
+    let caps: Vec<usize> = cfg.tenants.iter().map(|t| t.queue_cap).collect();
+    let mut sched = cfg.policy.scheduler(&weights);
+    let mut admission = Admission::new(&caps);
+    let mut in_flight: Vec<InFlight> = Vec::new();
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(all.len());
+    let mut expired = vec![0u64; nt];
+    let mut missed = vec![0u64; nt];
+    let mut sojourns: Vec<Vec<f64>> = vec![Vec::new(); nt];
+    let mut occ_sum = 0.0;
+    let mut occ_rounds = 0u64;
+    let mut next_arr = 0usize;
+
+    loop {
+        // 1. Admit (or shed) every arrival that is due.
+        while next_arr < all.len() && all[next_arr].at <= rt.host_now() {
+            let a = &all[next_arr];
+            let admitted = admission.offer(a.tenant);
+            records.push(TaskRecord {
+                tenant: a.tenant as u32,
+                seq: next_arr as u64,
+                arrival_us: a.at.as_us_f64(),
+                outcome: if admitted {
+                    Outcome::Done
+                } else {
+                    Outcome::Shed
+                },
+                spawn_us: None,
+                done_us: None,
+                sojourn_us: None,
+                deadline_missed: false,
+            });
+            if admitted {
+                sched.push(QueuedTask {
+                    tenant: a.tenant,
+                    seq: next_arr as u64,
+                    arrival: a.at,
+                    deadline: cfg.tenants[a.tenant].deadline.map(|d| a.at + d),
+                    desc: a.desc.clone(),
+                });
+            }
+            next_arr += 1;
+        }
+
+        // 2. Dispatch into the TaskTable while it has room.
+        while rt.spawn_capacity() > 0 {
+            let Some(qt) = sched.pop() else { break };
+            let QueuedTask {
+                tenant,
+                seq,
+                arrival,
+                deadline,
+                desc,
+            } = qt;
+            admission.on_dequeue(tenant);
+            if cfg.cancel_late && deadline.is_some_and(|d| d < rt.host_now()) {
+                expired[tenant] += 1;
+                let r = &mut records[seq as usize];
+                r.outcome = Outcome::Expired;
+                r.deadline_missed = true;
+                continue;
+            }
+            match rt.try_spawn(desc) {
+                Ok(id) => {
+                    records[seq as usize].spawn_us = Some(rt.host_now().as_us_f64());
+                    in_flight.push(InFlight {
+                        id,
+                        seq: seq as usize,
+                        tenant,
+                        arrival,
+                        deadline,
+                    });
+                }
+                Err(TrySpawnError::Full(desc)) => {
+                    // Defensive: capacity raced away. Put the task back.
+                    admission.requeue(tenant);
+                    sched.push(QueuedTask {
+                        tenant,
+                        seq,
+                        arrival,
+                        deadline,
+                        desc,
+                    });
+                    break;
+                }
+                Err(TrySpawnError::Invalid(e)) => {
+                    panic!("tenant workload produced an unspawnable task: {e}");
+                }
+            }
+        }
+        occ_sum += 1.0 - f64::from(rt.spawn_capacity()) / total_entries;
+        occ_rounds += 1;
+
+        // 3. Retire completions the host has observed via copy-backs.
+        in_flight.retain(|f| {
+            if !rt.observed_done(f.id) {
+                return true;
+            }
+            let done = rt
+                .trace(f.id)
+                .output_done
+                .expect("observed-done task lacks an output time");
+            let sojourn = (done - f.arrival).as_us_f64();
+            let r = &mut records[f.seq];
+            r.outcome = Outcome::Done;
+            r.done_us = Some(done.as_us_f64());
+            r.sojourn_us = Some(sojourn);
+            if f.deadline.is_some_and(|d| done > d) {
+                r.deadline_missed = true;
+                missed[f.tenant] += 1;
+            }
+            sojourns[f.tenant].push(sojourn);
+            false
+        });
+
+        // 4. Advance the clock, or finish.
+        let arrivals_left = next_arr < all.len();
+        if !arrivals_left && sched.is_empty() && in_flight.is_empty() {
+            break;
+        }
+        if !sched.is_empty() || (!arrivals_left && !in_flight.is_empty()) {
+            // Blocked on table capacity, or draining the tail: refresh
+            // the CPU's view (costs the aggregate copy-back's bus time)
+            // and, if still stuck, idle one timeout slice — the same
+            // pacing the runtime's own blocking spawn uses.
+            rt.sync_table();
+            let stuck_full = rt.spawn_capacity() == 0 && !sched.is_empty();
+            let draining = sched.is_empty() && !arrivals_left && !in_flight.is_empty();
+            if stuck_full || draining {
+                rt.advance_to(rt.host_now() + wait_timeout);
+            }
+        } else if arrivals_left {
+            // Idle: sleep until the next client submits.
+            rt.advance_to(all[next_arr].at);
+        }
+    }
+
+    debug_assert!(records.iter().all(|r| match r.outcome {
+        Outcome::Done => r.sojourn_us.is_some(),
+        Outcome::Shed | Outcome::Expired => r.sojourn_us.is_none(),
+    }));
+
+    // ---- aggregate ---------------------------------------------------
+    let makespan = rt.host_now();
+    let completed: u64 = sojourns.iter().map(|s| s.len() as u64).sum();
+    let tenants = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| {
+            tenant_report(
+                t.name.clone(),
+                t.weight,
+                admission.offered(ti),
+                admission.admitted(ti),
+                admission.shed(ti),
+                expired[ti],
+                missed[ti],
+                admission.max_depth(ti) as u64,
+                &sojourns[ti],
+            )
+        })
+        .collect();
+    let report = ServeReport {
+        policy: cfg.policy.name().to_string(),
+        mix: cfg.mix.clone(),
+        seed: cfg.seed,
+        offered_load: cfg.offered_load,
+        makespan_us: makespan.as_us_f64(),
+        throughput_per_s: completed as f64 / makespan.as_secs_f64().max(1e-12),
+        avg_slot_occupancy: occ_sum / occ_rounds.max(1) as f64,
+        avg_warp_occupancy: rt.report().avg_running_occupancy,
+        tenants,
+    };
+    ServeOutcome {
+        report,
+        records,
+        traces: rt.traces(),
+    }
+}
+
+/// SplitMix64 — decorrelates the per-tenant seeds derived from the
+/// master seed.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A MIG-style slice of the Titan X: identical per-SMM resources, clocks
+/// and TaskTable protocol, but only `num_sms` SMMs — so `2 * num_sms`
+/// MTB columns and a proportionally smaller table. Multi-tenant serving
+/// typically runs on such a partition, and the smaller table is what
+/// makes admission control bind at realistic experiment sizes (the full
+/// 48×32 table absorbs ~1.5 K tasks of backlog before any queue forms).
+pub fn serving_slice(num_sms: u32) -> PagodaConfig {
+    assert!(num_sms >= 1, "a slice needs at least one SMM");
+    let mut cfg = PagodaConfig::default();
+    cfg.device.spec.num_sms = num_sms;
+    cfg
+}
+
+/// Measures a runtime's saturated service capacity for `bench` tasks
+/// (tasks/second) — the natural normalizer when sweeping offered load.
+///
+/// Uses the serving loop itself rather than the blocking
+/// [`PagodaRuntime::task_spawn`]: every probe arrival lands at ≈ t = 0
+/// in an unbounded queue, so the dispatcher keeps the TaskTable as full
+/// as the loop ever can and the measured throughput is the rate the
+/// serving system genuinely sustains (the blocking spawn path idles in
+/// whole `wait_timeout` slices and would understate it). Deterministic.
+pub fn calibrate_capacity(
+    runtime: &PagodaConfig,
+    bench: Bench,
+    gen: &GenOpts,
+    probe_tasks: usize,
+) -> f64 {
+    let mut probe = TenantSpec::new("probe", bench, 1.0e12);
+    probe.queue_cap = usize::MAX;
+    probe.gen = gen.clone();
+    let mut cfg = ServeConfig::new(vec![probe], Policy::Fifo);
+    cfg.tasks_per_tenant = probe_tasks;
+    cfg.runtime = runtime.clone();
+    cfg.mix = "calibration".into();
+    serve(&cfg).report.throughput_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(policy: Policy) -> ServeConfig {
+        let mut a = TenantSpec::new("a", Bench::Des3, 2.0e6);
+        a.queue_cap = 16;
+        let mut b = TenantSpec::new("b", Bench::Mb, 1.0e6);
+        b.queue_cap = 16;
+        b.weight = 2;
+        b.deadline = Some(Dur::from_us(400));
+        let mut cfg = ServeConfig::new(vec![a, b], policy);
+        cfg.tasks_per_tenant = 48;
+        cfg.mix = "test".into();
+        cfg
+    }
+
+    #[test]
+    fn serve_conserves_tasks_across_policies() {
+        for policy in [Policy::Fifo, Policy::WeightedFair, Policy::Edf] {
+            let out = serve(&tiny_cfg(policy));
+            for tr in &out.report.tenants {
+                assert_eq!(tr.offered, tr.admitted + tr.shed, "{policy:?}");
+                assert_eq!(tr.admitted, tr.completed + tr.expired, "{policy:?}");
+            }
+            let offered: u64 = out.report.tenants.iter().map(|t| t.offered).sum();
+            assert_eq!(offered as usize, out.records.len());
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let cfg = tiny_cfg(Policy::WeightedFair);
+        let a = serve(&cfg);
+        let b = serve(&cfg);
+        let ja = serde_json::to_string(&a.records).unwrap();
+        let jb = serde_json::to_string(&b.records).unwrap();
+        assert_eq!(ja, jb);
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn overload_sheds_under_bounded_queues() {
+        let mut cfg = tiny_cfg(Policy::Fifo);
+        // Crank tenant a far past service capacity.
+        cfg.tenants[0].arrival = ArrivalSpec::Poisson { rate_per_s: 5.0e7 };
+        cfg.tenants[0].queue_cap = 8;
+        let out = serve(&cfg);
+        assert!(
+            out.report.tenants[0].shed > 0,
+            "overloaded bounded tenant must shed: {:?}",
+            out.report.tenants[0]
+        );
+        // Bounded queue ⇒ bounded backlog ahead of any admitted task.
+        assert!(out.report.tenants[0].max_queue_depth <= 8);
+    }
+
+    #[test]
+    fn cancel_late_expires_stale_work() {
+        let mut cfg = tiny_cfg(Policy::Edf);
+        cfg.cancel_late = true;
+        cfg.tenants[1].deadline = Some(Dur::from_us(1)); // hopeless deadline
+        cfg.tenants[1].arrival = ArrivalSpec::Poisson { rate_per_s: 3.0e7 };
+        let out = serve(&cfg);
+        let t1 = &out.report.tenants[1];
+        assert!(t1.expired > 0, "stale tasks must be cancelled: {t1:?}");
+        assert_eq!(t1.admitted, t1.completed + t1.expired);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests of the QoS schedulers and the serving loop's
+//! conservation law.
+//!
+//! * weighted-fair never starves a backlogged tenant: while a tenant has
+//!   queued work, it is served at least once in any window of two full
+//!   credit cycles, whatever the weights;
+//! * EDF pops in (deadline, seq) order, deadline-less tasks strictly
+//!   last;
+//! * the serving loop conserves arrivals under arbitrary rates, caps,
+//!   policies and seeds: offered = admitted + shed and
+//!   admitted = completed + expired, per tenant.
+
+use desim::{Dur, SimTime};
+use gpu_sim::WarpWork;
+use pagoda_core::TaskDesc;
+use pagoda_serve::{
+    serve, ArrivalSpec, Edf, Outcome, Policy, QosScheduler, QueuedTask, ServeConfig, TenantSpec,
+    WeightedFair,
+};
+use proptest::prelude::*;
+use workloads::Bench;
+
+fn item(tenant: usize, seq: u64, deadline_ps: Option<u64>) -> QueuedTask {
+    QueuedTask {
+        tenant,
+        seq,
+        arrival: SimTime::from_ps(seq),
+        deadline: deadline_ps.map(SimTime::from_ps),
+        desc: TaskDesc::uniform(64, WarpWork::compute(10_000, 4.0)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn wfq_never_starves_a_backlogged_tenant(
+        weights in prop::collection::vec(1u32..6, 2..5),
+        per_tenant in 4usize..24,
+    ) {
+        let nt = weights.len();
+        let cycle: u32 = weights.iter().sum();
+        let mut wfq = WeightedFair::new(&weights);
+        let mut seq = 0u64;
+        for _ in 0..per_tenant {
+            for t in 0..nt {
+                wfq.push(item(t, seq, None));
+                seq += 1;
+            }
+        }
+
+        // Pop everything; record each tenant's serve positions.
+        let mut pops: Vec<usize> = Vec::new();
+        while let Some(qt) = wfq.pop() {
+            pops.push(qt.tenant);
+        }
+        prop_assert_eq!(pops.len(), nt * per_tenant);
+
+        for t in 0..nt {
+            let positions: Vec<usize> = pops
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x == t)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(positions.len(), per_tenant, "counts conserved");
+            // Starvation bound: while tenant t is backlogged (which it
+            // is until its final pop), consecutive serves are at most
+            // two full credit cycles apart.
+            let bound = 2 * cycle as usize;
+            prop_assert!(positions[0] < bound, "first serve within a window");
+            for w in positions.windows(2) {
+                prop_assert!(
+                    w[1] - w[0] <= bound,
+                    "tenant {} starved: gap {} > {}",
+                    t, w[1] - w[0], bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wfq_shares_track_weights_under_saturation(
+        weights in prop::collection::vec(1u32..6, 2..5),
+    ) {
+        // With every tenant permanently backlogged, any prefix of whole
+        // credit cycles serves tenant t exactly weight[t] per cycle.
+        let nt = weights.len();
+        let cycle: u32 = weights.iter().sum();
+        let cycles = 5usize;
+        let mut wfq = WeightedFair::new(&weights);
+        let mut seq = 0u64;
+        for _ in 0..cycles {
+            for (t, w) in weights.iter().enumerate() {
+                for _ in 0..*w {
+                    wfq.push(item(t, seq, None));
+                    seq += 1;
+                }
+            }
+        }
+        let mut counts = vec![0u32; nt];
+        for _ in 0..(cycle as usize * cycles) {
+            counts[wfq.pop().expect("backlogged").tenant] += 1;
+        }
+        for (t, w) in weights.iter().enumerate() {
+            prop_assert_eq!(counts[t], w * cycles as u32, "tenant {}", t);
+        }
+    }
+
+    #[test]
+    fn edf_pops_in_deadline_order(
+        deadlines in prop::collection::vec(0u64..2_000, 1..64),
+        none_every in 2u64..5,
+    ) {
+        let mut edf = Edf::new();
+        for (i, d) in deadlines.iter().enumerate() {
+            // A sprinkling of deadline-less (best-effort) tasks.
+            let dl = if (i as u64).is_multiple_of(none_every) { None } else { Some(*d) };
+            edf.push(item(0, i as u64, dl));
+        }
+        let mut prev: Option<(u64, u64)> = None;
+        while let Some(qt) = edf.pop() {
+            let key = (
+                qt.deadline.map_or(u64::MAX, SimTime::as_ps),
+                qt.seq,
+            );
+            if let Some(p) = prev {
+                prop_assert!(p <= key, "EDF order violated: {:?} before {:?}", p, key);
+            }
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn serve_conserves_arrivals(
+        policy_ix in 0usize..3,
+        rate_exp in 0u32..6,
+        cap in 1usize..32,
+        seed in 0u64..1_000,
+        cancel_late in proptest::bool::ANY,
+    ) {
+        let policy = [Policy::Fifo, Policy::WeightedFair, Policy::Edf][policy_ix];
+        // Rates from well under to far over capacity (~3e5/s slice rate).
+        let rate = 5.0e4 * f64::from(1u32 << rate_exp);
+        let mut a = TenantSpec::new("a", Bench::Des3, rate);
+        a.queue_cap = cap;
+        a.deadline = Some(Dur::from_us(300));
+        let mut b = TenantSpec::new("b", Bench::Mb, 0.6 * rate);
+        b.queue_cap = cap;
+        b.weight = 3;
+        b.arrival = ArrivalSpec::Mmpp {
+            calm_rate_per_s: 0.3 * rate,
+            burst_rate_per_s: 1.8 * rate,
+            mean_calm_us: 120.0,
+            mean_burst_us: 40.0,
+        };
+        let mut cfg = ServeConfig::new(vec![a, b], policy);
+        cfg.tasks_per_tenant = 40;
+        cfg.seed = seed;
+        cfg.cancel_late = cancel_late;
+        let out = serve(&cfg);
+
+        let mut done = [0u64; 2];
+        let mut shed = [0u64; 2];
+        let mut expired = [0u64; 2];
+        for r in &out.records {
+            match r.outcome {
+                Outcome::Done => {
+                    prop_assert!(r.sojourn_us.is_some());
+                    prop_assert!(r.spawn_us.is_some());
+                    done[r.tenant as usize] += 1;
+                }
+                Outcome::Shed => {
+                    prop_assert!(r.spawn_us.is_none());
+                    shed[r.tenant as usize] += 1;
+                }
+                Outcome::Expired => {
+                    prop_assert!(cancel_late, "only cancel_late runs expire tasks");
+                    expired[r.tenant as usize] += 1;
+                }
+            }
+        }
+        for (ti, tr) in out.report.tenants.iter().enumerate() {
+            prop_assert_eq!(tr.offered, 40);
+            prop_assert_eq!(tr.offered, tr.admitted + tr.shed);
+            prop_assert_eq!(tr.admitted, tr.completed + tr.expired);
+            prop_assert_eq!(tr.completed, done[ti]);
+            prop_assert_eq!(tr.shed, shed[ti]);
+            prop_assert_eq!(tr.expired, expired[ti]);
+            prop_assert!(tr.max_queue_depth <= cap as u64);
+        }
+    }
+}

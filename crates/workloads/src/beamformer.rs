@@ -29,7 +29,7 @@ pub fn beamform(
     assert_eq!(channels.len(), weights_im.len());
     assert_eq!(channels.len(), delays.len());
     let mut out = vec![0.0f32; n];
-    for t in 0..n {
+    for (t, o) in out.iter_mut().enumerate() {
         let mut acc_re = 0.0f32;
         let mut acc_im = 0.0f32;
         for (c, ch) in channels.iter().enumerate() {
@@ -38,7 +38,7 @@ pub fn beamform(
             acc_re += weights_re[c] * x;
             acc_im += weights_im[c] * x;
         }
-        out[t] = (acc_re * acc_re + acc_im * acc_im).sqrt();
+        *o = (acc_re * acc_re + acc_im * acc_im).sqrt();
     }
     out
 }
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn single_channel_unit_weight_is_magnitude_identity() {
         let x: Vec<f32> = (0..32).map(|i| i as f32 - 16.0).collect();
-        let out = beamform(&[x.clone()], &[1.0], &[0.0], &[0]);
+        let out = beamform(std::slice::from_ref(&x), &[1.0], &[0.0], &[0]);
         for (o, v) in out.iter().zip(&x) {
             assert!((o - v.abs()).abs() < 1e-5);
         }
@@ -93,12 +93,7 @@ mod tests {
     #[test]
     fn coherent_channels_add() {
         let x = vec![1.0f32; 8];
-        let out = beamform(
-            &[x.clone(), x.clone()],
-            &[1.0, 1.0],
-            &[0.0, 0.0],
-            &[0, 0],
-        );
+        let out = beamform(&[x.clone(), x.clone()], &[1.0, 1.0], &[0.0, 0.0], &[0, 0]);
         assert!((out[0] - 2.0).abs() < 1e-5);
     }
 

@@ -35,22 +35,46 @@ pub struct CostModel {
 
 /// Mandelbrot: compute-dense but divergent (warp lanes escape at
 /// different iterations).
-pub const MB: CostModel = CostModel { cpi: 12.0, cpi_smem: 12.0 };
+pub const MB: CostModel = CostModel {
+    cpi: 12.0,
+    cpi_smem: 12.0,
+};
 /// FilterBank: FIR taps stream from global memory.
-pub const FB: CostModel = CostModel { cpi: 10.0, cpi_smem: 10.0 };
+pub const FB: CostModel = CostModel {
+    cpi: 10.0,
+    cpi_smem: 10.0,
+};
 /// BeamFormer: highest arithmetic density of the suite (87 % compute).
-pub const BF: CostModel = CostModel { cpi: 8.0, cpi_smem: 8.0 };
+pub const BF: CostModel = CostModel {
+    cpi: 8.0,
+    cpi_smem: 8.0,
+};
 /// Image convolution: neighbourhood reads dominate.
-pub const CONV: CostModel = CostModel { cpi: 14.0, cpi_smem: 14.0 };
+pub const CONV: CostModel = CostModel {
+    cpi: 14.0,
+    cpi_smem: 14.0,
+};
 /// DCT8x8: short arithmetic bursts between strided loads; shared-memory
 /// staging removes most of the stall (Table 5).
-pub const DCT: CostModel = CostModel { cpi: 20.0, cpi_smem: 13.0 };
+pub const DCT: CostModel = CostModel {
+    cpi: 20.0,
+    cpi_smem: 13.0,
+};
 /// Matrix multiply: classic smem-tiling beneficiary (Table 5).
-pub const MM: CostModel = CostModel { cpi: 24.0, cpi_smem: 10.0 };
+pub const MM: CostModel = CostModel {
+    cpi: 24.0,
+    cpi_smem: 10.0,
+};
 /// Sparse LU: small dense tiles, decent locality.
-pub const SLUD: CostModel = CostModel { cpi: 12.0, cpi_smem: 12.0 };
+pub const SLUD: CostModel = CostModel {
+    cpi: 12.0,
+    cpi_smem: 12.0,
+};
 /// 3DES: S-box table lookups.
-pub const DES3: CostModel = CostModel { cpi: 10.0, cpi_smem: 10.0 };
+pub const DES3: CostModel = CostModel {
+    cpi: 10.0,
+    cpi_smem: 10.0,
+};
 
 #[cfg(test)]
 mod tests {
@@ -96,6 +120,9 @@ mod tests {
         assert!((100.0..1000.0).contains(&ratio), "balance {ratio}");
         // And over the whole bandwidth-bound 20-core machine: tens.
         let machine = gpu_peak / CPU_MEM_BW_OPS_PER_SEC;
-        assert!((10.0..100.0).contains(&machine), "machine balance {machine}");
+        assert!(
+            (10.0..100.0).contains(&machine),
+            "machine balance {machine}"
+        );
     }
 }

@@ -55,7 +55,12 @@ fn task_ops(dim: usize) -> u64 {
 pub fn tasks_sized(n: usize, dim: usize, opts: &GenOpts) -> Vec<TaskDesc> {
     let scaled = crate::gen::scale_ops(task_ops(dim), opts.work_scale);
     let ops_per_thread = scaled.div_ceil(u64::from(opts.threads_per_task));
-    let block = uniform_block(opts.threads_per_task, ops_per_thread, calib::CONV.cpi, &[1.0]);
+    let block = uniform_block(
+        opts.threads_per_task,
+        ops_per_thread,
+        calib::CONV.cpi,
+        &[1.0],
+    );
     let io = (dim * dim) as u64; // u8 pixels
     let t = TaskDesc {
         threads_per_tb: opts.threads_per_task,

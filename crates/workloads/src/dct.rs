@@ -112,7 +112,11 @@ fn task_ops() -> u64 {
 /// staged variant (Table 5): 8 image rows staged per pass, 4 KB per
 /// threadblock, lower CPI.
 pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
-    let cpi = if opts.use_smem { calib::DCT.cpi_smem } else { calib::DCT.cpi };
+    let cpi = if opts.use_smem {
+        calib::DCT.cpi_smem
+    } else {
+        calib::DCT.cpi
+    };
     let scaled = crate::gen::scale_ops(task_ops(), opts.work_scale);
     let ops_per_thread = scaled / u64::from(opts.threads_per_task);
     // Two synchronized passes: rows, then columns.
@@ -184,8 +188,10 @@ mod tests {
 
     #[test]
     fn smem_variant_lowers_cpi_and_requests_memory() {
-        let mut o = GenOpts::default();
-        o.use_smem = false;
+        let mut o = GenOpts {
+            use_smem: false,
+            ..GenOpts::default()
+        };
         let plain = tasks(1, &o);
         o.use_smem = true;
         let smem = tasks(1, &o);

@@ -289,7 +289,9 @@ mod tests {
     fn packet_sizes_span_the_netbench_range() {
         let mut rng = SmallRng::seed_from_u64(7);
         let sizes: Vec<usize> = (0..500).map(|_| packet_size(&mut rng)).collect();
-        assert!(sizes.iter().all(|&s| (MIN_PACKET - 8..=MAX_PACKET).contains(&s)));
+        assert!(sizes
+            .iter()
+            .all(|&s| (MIN_PACKET - 8..=MAX_PACKET).contains(&s)));
         assert!(sizes.iter().any(|&s| s < 2 * MIN_PACKET));
         assert!(sizes.iter().any(|&s| s > MAX_PACKET / 3));
     }

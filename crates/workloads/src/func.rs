@@ -124,10 +124,7 @@ pub fn run(task: &FuncTask) -> Vec<u8> {
             .collect(),
         FuncTask::LuFactor { tile, n } => {
             let (l, u) = slud::dense_lu(tile, *n);
-            l.into_iter()
-                .chain(u)
-                .flat_map(f32::to_le_bytes)
-                .collect()
+            l.into_iter().chain(u).flat_map(f32::to_le_bytes).collect()
         }
         FuncTask::Des3 { packet, k1, k2, k3 } => des3::encrypt_packet(packet, *k1, *k2, *k3),
     }
@@ -154,10 +151,14 @@ pub fn sample_batch(n: usize, seed: u64) -> Vec<FuncTask> {
             },
             1 => FuncTask::FilterBank {
                 signal: (0..filterbank::N_SIM)
-                    .map(|t| (t as f32 * rng.gen_range(0.001..0.1)).sin())
+                    .map(|t| (t as f32 * rng.gen_range(0.001f32..0.1)).sin())
                     .collect(),
-                h: (0..filterbank::N_COL).map(|k| 1.0 / (k + 1) as f32).collect(),
-                f: (0..filterbank::N_COL).map(|k| 0.5 / (k + 1) as f32).collect(),
+                h: (0..filterbank::N_COL)
+                    .map(|k| 1.0 / (k + 1) as f32)
+                    .collect(),
+                f: (0..filterbank::N_COL)
+                    .map(|k| 0.5 / (k + 1) as f32)
+                    .collect(),
             },
             2 => {
                 let ch = 4;
@@ -193,8 +194,7 @@ pub fn sample_batch(n: usize, seed: u64) -> Vec<FuncTask> {
             }
             6 => {
                 let n = slud::TILE;
-                let mut tile: Vec<f32> =
-                    (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut tile: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 for d in 0..n {
                     tile[d * n + d] = n as f32 + 1.0;
                 }

@@ -65,7 +65,12 @@ pub fn build_block(thread_ops: &[u64], cpi: f64, phase_fracs: &[f64]) -> BlockWo
 }
 
 /// Uniform per-thread work: every thread does `ops_per_thread` operations.
-pub fn uniform_block(threads: u32, ops_per_thread: u64, cpi: f64, phase_fracs: &[f64]) -> BlockWork {
+pub fn uniform_block(
+    threads: u32,
+    ops_per_thread: u64,
+    cpi: f64,
+    phase_fracs: &[f64],
+) -> BlockWork {
     build_block(&vec![ops_per_thread; threads as usize], cpi, phase_fracs)
 }
 

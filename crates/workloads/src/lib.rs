@@ -213,7 +213,7 @@ pub fn irregular_tasks(
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xf193);
     (0..n)
         .map(|_| {
-            let s: u32 = *[32u32, 64, 128, 256].iter().nth(rng.gen_range(0..4)).unwrap();
+            let s: u32 = [32u32, 64, 128, 256][rng.gen_range(0..4usize)];
             let scale = f64::from(s) / 256.0;
             let (threads, thread_ops): (u32, Vec<u64>) = match policy {
                 ThreadPolicy::Matched => (s, vec![per_thread_ops; s as usize]),
@@ -257,8 +257,10 @@ mod tests {
 
     #[test]
     fn smem_benches_respond_to_flag() {
-        let mut opts = GenOpts::default();
-        opts.use_smem = true;
+        let opts = GenOpts {
+            use_smem: true,
+            ..GenOpts::default()
+        };
         for b in [Bench::Dct, Bench::Mm] {
             let ts = b.tasks(4, &opts);
             assert!(ts.iter().all(|t| t.smem_per_tb > 0), "{}", b.name());
@@ -274,8 +276,10 @@ mod tests {
         // Fig. 7: "the amount of work per task remains constant in all
         // thread configurations".
         for threads in [32u32, 64, 128, 256, 512] {
-            let mut o = GenOpts::default();
-            o.threads_per_task = threads;
+            let o = GenOpts {
+                threads_per_task: threads,
+                ..GenOpts::default()
+            };
             let a = Bench::Fb.tasks(1, &o)[0].total_instrs();
             let o128 = GenOpts::default();
             let b = Bench::Fb.tasks(1, &o128)[0].total_instrs();
@@ -288,8 +292,8 @@ mod tests {
     fn irregular_matched_tasks_vary_in_threads_and_work() {
         let ts = irregular_tasks(Bench::Conv, 64, ThreadPolicy::Matched, &GenOpts::default());
         let threads: Vec<u32> = ts.iter().map(|t| t.threads_per_tb).collect();
-        assert!(threads.iter().any(|&t| t == 32));
-        assert!(threads.iter().any(|&t| t == 256));
+        assert!(threads.contains(&32));
+        assert!(threads.contains(&256));
         let works: Vec<u64> = ts.iter().map(|t| t.total_instrs()).collect();
         assert!(works.iter().max().unwrap() > &(works.iter().min().unwrap() * 4));
     }
@@ -297,7 +301,12 @@ mod tests {
     #[test]
     fn irregular_fixed_concentrates_work_on_active_lanes() {
         let matched = irregular_tasks(Bench::Conv, 64, ThreadPolicy::Matched, &GenOpts::default());
-        let fixed = irregular_tasks(Bench::Conv, 64, ThreadPolicy::Fixed(256), &GenOpts::default());
+        let fixed = irregular_tasks(
+            Bench::Conv,
+            64,
+            ThreadPolicy::Fixed(256),
+            &GenOpts::default(),
+        );
         // Same total work per index (same seed -> same size classes)...
         for (m, f) in matched.iter().zip(&fixed) {
             assert_eq!(m.total_instrs(), f.total_instrs());

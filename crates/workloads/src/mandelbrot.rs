@@ -114,7 +114,11 @@ fn task_from_region(region: Region, opts: &GenOpts) -> TaskDesc {
         sync: false,
         blocks: vec![block],
         input_bytes: if opts.with_io { 64 } else { 0 }, // region params
-        output_bytes: if opts.with_io { (DIM * DIM * 2) as u64 } else { 0 },
+        output_bytes: if opts.with_io {
+            (DIM * DIM * 2) as u64
+        } else {
+            0
+        },
         cpu_ops,
     }
 }
@@ -124,8 +128,12 @@ fn task_from_region(region: Region, opts: &GenOpts) -> TaskDesc {
 /// while preserving cross-task irregularity.
 pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x6d62);
-    let pool: Vec<TaskDesc> = (0..64).map(|_| task_from_region(random_region(&mut rng), opts)).collect();
-    (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+    let pool: Vec<TaskDesc> = (0..64)
+        .map(|_| task_from_region(random_region(&mut rng), opts))
+        .collect();
+    (0..n)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -144,7 +152,12 @@ mod tests {
 
     #[test]
     fn render_is_deterministic_and_irregular() {
-        let r = Region { x0: -1.5, y0: -1.0, w: 2.0, h: 2.0 };
+        let r = Region {
+            x0: -1.5,
+            y0: -1.0,
+            w: 2.0,
+            h: 2.0,
+        };
         let a = render(r, 32, 128);
         let b = render(r, 32, 128);
         assert_eq!(a, b);
@@ -170,8 +183,10 @@ mod tests {
 
     #[test]
     fn io_toggle() {
-        let mut opts = GenOpts::default();
-        opts.with_io = false;
+        let mut opts = GenOpts {
+            with_io: false,
+            ..GenOpts::default()
+        };
         assert_eq!(tasks(1, &opts)[0].output_bytes, 0);
         opts.with_io = true;
         assert_eq!(tasks(1, &opts)[0].output_bytes, 8192);

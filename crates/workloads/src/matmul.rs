@@ -65,7 +65,11 @@ fn task_ops(n: usize) -> u64 {
 
 /// Tasks multiplying `dim`×`dim` matrices (Fig. 8 sweeps `dim`).
 pub fn tasks_sized(n: usize, dim: usize, opts: &GenOpts) -> Vec<TaskDesc> {
-    let cpi = if opts.use_smem { calib::MM.cpi_smem } else { calib::MM.cpi };
+    let cpi = if opts.use_smem {
+        calib::MM.cpi_smem
+    } else {
+        calib::MM.cpi
+    };
     let scaled = crate::gen::scale_ops(task_ops(dim), opts.work_scale);
     let ops_per_thread = scaled.div_ceil(u64::from(opts.threads_per_task));
     // The k-tile loop synchronizes after each staged tile; model the
@@ -77,7 +81,11 @@ pub fn tasks_sized(n: usize, dim: usize, opts: &GenOpts) -> Vec<TaskDesc> {
     let t = TaskDesc {
         threads_per_tb: opts.threads_per_task,
         num_tbs: 1,
-        smem_per_tb: if opts.use_smem { (2 * TILE * TILE * 4) as u32 } else { 0 },
+        smem_per_tb: if opts.use_smem {
+            (2 * TILE * TILE * 4) as u32
+        } else {
+            0
+        },
         sync: true,
         blocks: vec![block],
         input_bytes: if opts.with_io { 2 * bytes } else { 0 }, // A and B
@@ -135,8 +143,10 @@ mod tests {
 
     #[test]
     fn smem_variant_shape() {
-        let mut o = GenOpts::default();
-        o.use_smem = true;
+        let o = GenOpts {
+            use_smem: true,
+            ..GenOpts::default()
+        };
         let t = &tasks(1, &o)[0];
         assert_eq!(t.smem_per_tb, 2048);
         assert!(t.sync);

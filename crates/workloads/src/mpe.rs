@@ -44,8 +44,10 @@ mod tests {
 
     #[test]
     fn smem_flag_flows_through() {
-        let mut o = GenOpts::default();
-        o.use_smem = true;
+        let o = GenOpts {
+            use_smem: true,
+            ..GenOpts::default()
+        };
         let ts = tasks(40, &o);
         assert!(ts.iter().any(|t| t.smem_per_tb > 0), "MM smem variant");
     }

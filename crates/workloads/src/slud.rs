@@ -35,7 +35,10 @@ pub fn dense_lu(a: &[f32], n: usize) -> (Vec<f32>, Vec<f32>) {
     }
     for k in 0..n {
         let pivot = u[k * n + k];
-        assert!(pivot.abs() > 1e-12, "zero pivot at {k}; matrix not factorable");
+        assert!(
+            pivot.abs() > 1e-12,
+            "zero pivot at {k}; matrix not factorable"
+        );
         for i in k + 1..n {
             let m = u[i * n + k] / pivot;
             l[i * n + k] = m;
@@ -127,7 +130,12 @@ pub fn symbolic_waves(nb: usize, density: f64, seed: u64) -> Vec<Vec<TileTask>> 
 fn task_of(t: TileTask, opts: &GenOpts) -> TaskDesc {
     let scaled = crate::gen::scale_ops(t.ops(), opts.work_scale);
     let ops_per_thread = scaled.div_ceil(u64::from(opts.threads_per_task));
-    let block = uniform_block(opts.threads_per_task, ops_per_thread, calib::SLUD.cpi, &[1.0]);
+    let block = uniform_block(
+        opts.threads_per_task,
+        ops_per_thread,
+        calib::SLUD.cpi,
+        &[1.0],
+    );
     TaskDesc {
         threads_per_tb: opts.threads_per_task,
         num_tbs: 1,
@@ -172,7 +180,10 @@ pub fn grid_for(n: usize, seed: u64) -> usize {
 /// fixed-count benchmarks.
 pub fn tasks(n: usize, opts: &GenOpts) -> Vec<TaskDesc> {
     let nb = grid_for(n, opts.seed);
-    waves_as_tasks(nb, DENSITY, opts).into_iter().flatten().collect()
+    waves_as_tasks(nb, DENSITY, opts)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -183,7 +194,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut a: Vec<f32> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         for i in 0..n {
-            a[i * n + i] = n as f32 + rng.gen_range(0.0..1.0);
+            a[i * n + i] = n as f32 + rng.gen_range(0.0f32..1.0);
         }
         a
     }

@@ -36,8 +36,10 @@ fn main() {
 
     // GeMTC must run without shared memory (unsupported there).
     let plain = mpe::tasks(n, &GenOpts::default());
-    let mut gm_cfg = GemtcConfig::default();
-    gm_cfg.worker_threads = plain.iter().map(|t| t.threads_per_tb).max().unwrap();
+    let gm_cfg = GemtcConfig {
+        worker_threads: plain.iter().map(|t| t.threads_per_tb).max().unwrap(),
+        ..GemtcConfig::default()
+    };
     let gemtc = run_gemtc(&gm_cfg, &plain);
     let hyperq = run_hyperq(&HyperQConfig::default(), &tasks);
     let pth = run_pthreads(&CpuConfig::default(), &tasks);
@@ -45,7 +47,10 @@ fn main() {
     println!("--- results ---");
     println!("Pagoda        : {}", pagoda.makespan);
     println!("CUDA-HyperQ   : {}", hyperq.makespan);
-    println!("GeMTC         : {}  (batch barrier pays for every straggler)", gemtc.makespan);
+    println!(
+        "GeMTC         : {}  (batch barrier pays for every straggler)",
+        gemtc.makespan
+    );
     println!("20-core CPU   : {}", pth.makespan);
     let p: RunSummary = pagoda.into();
     println!(

@@ -51,8 +51,5 @@ fn main() {
         "warp occupancy  : {:.1}% of the device's 1536 warp slots",
         r.avg_running_occupancy * 100.0
     );
-    println!(
-        "PCIe busy       : H2D {}, D2H {}",
-        r.h2d_busy, r.d2h_busy
-    );
+    println!("PCIe busy       : H2D {}, D2H {}", r.h2d_busy, r.d2h_busy);
 }

@@ -64,7 +64,12 @@ fn main() {
     // CPU comparison, wave by wave.
     let cpu_ms: f64 = waves
         .iter()
-        .map(|w| run_pthreads(&CpuConfig::default(), w).makespan.as_secs_f64() * 1e3)
+        .map(|w| {
+            run_pthreads(&CpuConfig::default(), w)
+                .makespan
+                .as_secs_f64()
+                * 1e3
+        })
         .sum();
 
     println!("--- results ---");

@@ -31,6 +31,7 @@
 //! | [`desim`] | the discrete-event engine |
 //! | [`baselines`] | CUDA-HyperQ, GeMTC, static fusion, CPU baselines |
 //! | [`workloads`] | the eight evaluation benchmarks + MPE |
+//! | [`pagoda_serve`] | multi-tenant serving: admission control + QoS |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use desim;
 pub use gpu_arch;
 pub use gpu_sim;
 pub use pagoda_core;
+pub use pagoda_serve;
 pub use pcie;
 pub use workloads;
 
@@ -71,5 +73,6 @@ pub mod prelude {
     pub use gpu_arch::{GpuSpec, TaskShape};
     pub use gpu_sim::{BlockWork, DeviceConfig, GpuDevice, KernelDesc, Segment, WarpWork};
     pub use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc, TaskError, TaskId};
+    pub use pagoda_serve::{serve, ArrivalSpec, Policy, ServeConfig, TenantSpec};
     pub use workloads::{Bench, GenOpts};
 }

@@ -2,11 +2,15 @@
 //! produce bit-identical results across repeated runs. This is what makes
 //! every figure in EXPERIMENTS.md reproducible.
 
+use pagoda::pagoda_serve::serving_slice;
 use pagoda::prelude::*;
 use workloads::Bench;
 
 fn run_pagoda_once(seed: u64) -> (u64, u64, u64) {
-    let opts = GenOpts { seed, ..GenOpts::default() };
+    let opts = GenOpts {
+        seed,
+        ..GenOpts::default()
+    };
     let tasks = Bench::Mpe.tasks(256, &opts);
     let r = run_pagoda(PagodaConfig::default(), &tasks);
     (r.makespan.as_ps(), r.compute_done.as_ps(), r.tasks)
@@ -28,8 +32,10 @@ fn hyperq_and_gemtc_are_deterministic() {
     let a = run_hyperq(&HyperQConfig::default(), &tasks);
     let b = run_hyperq(&HyperQConfig::default(), &tasks);
     assert_eq!(a.makespan, b.makespan);
-    let mut cfg = GemtcConfig::default();
-    cfg.worker_threads = 128;
+    let cfg = GemtcConfig {
+        worker_threads: 128,
+        ..GemtcConfig::default()
+    };
     let c = run_gemtc(&cfg, &tasks);
     let d = run_gemtc(&cfg, &tasks);
     assert_eq!(c.makespan, d.makespan);
@@ -46,6 +52,52 @@ fn fusion_and_cpu_are_deterministic() {
         run_pthreads(&CpuConfig::default(), &tasks).makespan,
         run_pthreads(&CpuConfig::default(), &tasks).makespan
     );
+}
+
+// The same serving experiment serve_curves sweeps: a device slice,
+// bursty + deadline tenants, overload. Same seed ⇒ byte-identical
+// serialized metric records and report.
+fn serve_curves_style_run(policy: Policy, seed: u64) -> (String, String) {
+    let mut packets = TenantSpec::new("packets", Bench::Des3, 4.0e5);
+    packets.weight = 2;
+    packets.queue_cap = 32;
+    packets.deadline = Some(Dur::from_us(1_500));
+    let mut tiles = TenantSpec::new("tiles", Bench::Mb, 0.0);
+    tiles.queue_cap = 32;
+    tiles.arrival = ArrivalSpec::Mmpp {
+        calm_rate_per_s: 1.0e5,
+        burst_rate_per_s: 4.0e5,
+        mean_calm_us: 300.0,
+        mean_burst_us: 100.0,
+    };
+    let mut cfg = ServeConfig::new(vec![packets, tiles], policy);
+    cfg.tasks_per_tenant = 96;
+    cfg.seed = seed;
+    cfg.mix = "determinism".into();
+    cfg.cancel_late = policy == Policy::Edf;
+    cfg.runtime = serving_slice(2);
+    let out = serve(&cfg);
+    (
+        serde_json::to_string(&out.records).expect("records serialize"),
+        serde_json::to_string(&out.report).expect("report serializes"),
+    )
+}
+
+#[test]
+fn serve_metric_records_are_byte_identical() {
+    for policy in [Policy::Fifo, Policy::WeightedFair, Policy::Edf] {
+        let (rec_a, rep_a) = serve_curves_style_run(policy, 42);
+        let (rec_b, rep_b) = serve_curves_style_run(policy, 42);
+        assert_eq!(rec_a, rec_b, "{policy:?} records must be byte-identical");
+        assert_eq!(rep_a, rep_b, "{policy:?} report must be byte-identical");
+    }
+}
+
+#[test]
+fn serve_seeds_change_the_records() {
+    let (rec_a, _) = serve_curves_style_run(Policy::Fifo, 42);
+    let (rec_b, _) = serve_curves_style_run(Policy::Fifo, 43);
+    assert_ne!(rec_a, rec_b, "different seeds must change arrival timing");
 }
 
 #[test]

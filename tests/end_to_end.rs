@@ -22,11 +22,24 @@ fn all_benchmarks_complete_on_all_gpu_runtimes() {
         assert_eq!(hq.tasks, n, "HyperQ lost tasks on {}", b.name());
 
         if b.supports_gemtc() {
-            let plain = b.tasks(96, &GenOpts { use_smem: false, ..opts() });
-            let mut cfg = GemtcConfig::default();
-            cfg.worker_threads = plain.iter().map(|t| t.threads_per_tb).max().unwrap();
+            let plain = b.tasks(
+                96,
+                &GenOpts {
+                    use_smem: false,
+                    ..opts()
+                },
+            );
+            let cfg = GemtcConfig {
+                worker_threads: plain.iter().map(|t| t.threads_per_tb).max().unwrap(),
+                ..GemtcConfig::default()
+            };
             let gm = run_gemtc(&cfg, &plain);
-            assert_eq!(gm.tasks, plain.len() as u64, "GeMTC lost tasks on {}", b.name());
+            assert_eq!(
+                gm.tasks,
+                plain.len() as u64,
+                "GeMTC lost tasks on {}",
+                b.name()
+            );
         }
     }
 }
@@ -53,7 +66,7 @@ fn small_task_counts_do_not_favor_pagoda_much() {
     let tasks = Bench::Conv.tasks(64, &opts());
     let pg = run_pagoda(PagodaConfig::default(), &tasks);
     let hq = run_hyperq(&HyperQConfig::default(), &tasks);
-    let ratio = RunSummary::from(pg).speedup_over(&hq);
+    let ratio = pg.speedup_over(&hq);
     assert!(ratio < 2.0, "tiny run should be close, got {ratio}x");
 }
 
@@ -64,7 +77,7 @@ fn gpu_runtimes_beat_20_core_cpu_at_scale() {
         let pg = run_pagoda(PagodaConfig::default(), &tasks);
         let pth = run_pthreads(&CpuConfig::default(), &tasks);
         assert!(
-            RunSummary::from(pg).speedup_over(&pth) > 1.5,
+            pg.speedup_over(&pth) > 1.5,
             "{} should favor the GPU",
             b.name()
         );
@@ -78,8 +91,11 @@ fn copy_bound_dct_shows_small_gpu_wins() {
     let tasks = Bench::Dct.tasks(512, &opts());
     let pg = run_pagoda(PagodaConfig::default(), &tasks);
     let hq = run_hyperq(&HyperQConfig::default(), &tasks);
-    let ratio = RunSummary::from(pg).speedup_over(&hq);
-    assert!((0.7..1.6).contains(&ratio), "DCT is copy-bound, got {ratio}x");
+    let ratio = pg.speedup_over(&hq);
+    assert!(
+        (0.7..1.6).contains(&ratio),
+        "DCT is copy-bound, got {ratio}x"
+    );
 }
 
 #[test]

@@ -23,7 +23,13 @@ fn section2_occupancy_arithmetic() {
 
 #[test]
 fn pagoda_sustains_higher_running_occupancy_than_hyperq() {
-    let tasks = Bench::Mb.tasks(2048, &GenOpts { with_io: false, ..GenOpts::default() });
+    let tasks = Bench::Mb.tasks(
+        2048,
+        &GenOpts {
+            with_io: false,
+            ..GenOpts::default()
+        },
+    );
     let pg = run_pagoda(PagodaConfig::default(), &tasks);
     let hq = run_hyperq(&HyperQConfig::default(), &tasks);
     assert!(

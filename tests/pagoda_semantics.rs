@@ -177,7 +177,10 @@ fn oversized_smem_is_rejected() {
     let mut rt = PagodaRuntime::titan_x();
     let mut t = narrow(1);
     t.smem_per_tb = 33 * 1024;
-    assert!(matches!(rt.task_spawn(t), Err(TaskError::SmemTooLarge { .. })));
+    assert!(matches!(
+        rt.task_spawn(t),
+        Err(TaskError::SmemTooLarge { .. })
+    ));
 }
 
 #[test]
@@ -223,7 +226,9 @@ fn io_heavy_tasks_account_pcie_time() {
 #[test]
 fn report_latency_metrics_are_consistent() {
     let mut rt = PagodaRuntime::titan_x();
-    let ids: Vec<_> = (0..50).map(|_| rt.task_spawn(narrow(100_000)).unwrap()).collect();
+    let ids: Vec<_> = (0..50)
+        .map(|_| rt.task_spawn(narrow(100_000)).unwrap())
+        .collect();
     rt.wait_all();
     let r = rt.report();
     let mean = r.mean_task_latency.as_us_f64();

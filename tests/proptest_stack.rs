@@ -8,12 +8,12 @@ use proptest::prelude::*;
 /// An arbitrary valid narrow task.
 fn arb_task() -> impl Strategy<Value = TaskDesc> {
     (
-        1u32..=992,             // threads
-        0u64..400_000,          // instrs per warp
-        prop::bool::ANY,        // sync
-        0u32..=4,               // smem in 8KB units
-        0u64..32_768,           // input bytes
-        0u64..32_768,           // output bytes
+        1u32..=992,      // threads
+        0u64..400_000,   // instrs per warp
+        prop::bool::ANY, // sync
+        0u32..=4,        // smem in 8KB units
+        0u64..32_768,    // input bytes
+        0u64..32_768,    // output bytes
     )
         .prop_map(|(threads, instrs, sync, smem8k, inb, outb)| {
             let work = if sync && instrs > 0 {

@@ -1,0 +1,256 @@
+//! Workspace-local subset of the `criterion` API (offline build — see
+//! `vendor/README.md`).
+//!
+//! The statistical machinery (bootstrap, outlier classification, HTML
+//! reports) is not reproduced. Benches compile against the same surface
+//! — `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`/`iter_batched`/`iter_batched_ref`,
+//! `Throughput`, `BatchSize` — and running them performs a warm-up pass
+//! followed by timed batches, reporting mean time per iteration (and
+//! derived throughput) on stdout. Good enough to compare hot paths
+//! before/after a change; not a substitute for upstream's statistics.
+//!
+//! `cargo test` compiles bench targets with the ordinary test harness
+//! disabled (`harness = false`), so `main` also honors `--test` (exits
+//! after a single iteration per bench) the way upstream does.
+
+use std::time::{Duration, Instant};
+
+/// Iteration batching modes (accepted for compatibility; the vendored
+/// runner sizes batches itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+            measure_for: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self, &name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        run_one(self.criterion, &full, self.throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (upstream renders its summary here; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    /// Iterations to run in the next measured pass.
+    iters: u64,
+    /// Accumulated measured time for this pass.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Measures `routine` on a fresh `setup()` value each iteration
+    /// (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_one<F>(c: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Warm-up / calibration: find an iteration count that fills roughly
+    // one sampling window.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+            break b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        }
+        iters *= 2;
+    };
+    let window = c.measure_for / u32::try_from(c.sample_size).unwrap_or(20).max(1);
+    let per_sample = (window.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += per_sample;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / mean_ns * 1e3),
+        Throughput::Bytes(n) => format!(
+            " ({:.3} MiB/s)",
+            n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+        ),
+    });
+    println!(
+        "{name}: {} per iter{} [{} iters]",
+        fmt_ns(mean_ns),
+        rate.unwrap_or_default(),
+        total_iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies (`prop::bool`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// A fair coin.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.rng().gen::<bool>()
+    }
+}

@@ -1,0 +1,144 @@
+//! Workspace-local subset of the `proptest` API.
+//!
+//! The build environment is offline (no registry), so the workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro with
+//! per-block [`ProptestConfig`](test_runner::ProptestConfig), range /
+//! tuple / [`Just`](strategy::Just) / [`prop_oneof!`] / `prop_map` /
+//! `prop::collection::vec` / `prop::bool::ANY` strategies, and the
+//! `prop_assert*` family.
+//!
+//! Two deliberate simplifications versus upstream:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message's case number and `Debug` of the generated values where the
+//!   assertion formats them) but is not minimized.
+//! * **Deterministic seeding.** Upstream seeds from OS entropy and
+//!   persists failures in `*.proptest-regressions` files; this runner
+//!   derives the seed from the test's name, so every CI run explores the
+//!   same cases. That trades discovery breadth for the reproducibility
+//!   this repository's tier-1 gate wants. (Existing regression files are
+//!   ignored.)
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in 0u32..100, v in prop::collection::vec(0u8..4, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                // Evaluate each strategy expression once, as upstream does.
+                $(let $arg = $strat;)+
+                let __strats = ($(&$arg,)+);
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)+) = {
+                        let ($($arg,)+) = __strats;
+                        ($($crate::strategy::Strategy::new_value($arg, &mut __rng),)+)
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case {}/{} of `{}` failed: {}",
+                                __case + 1, __cfg.cases, stringify!($name), __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skips the current case (counted as neither pass nor failure) unless
+/// the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,11 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Namespace mirror of upstream's `prelude::prop`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}

@@ -1,0 +1,133 @@
+//! Workspace-local subset of the `rand` 0.8 API.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the handful of `rand` items it actually uses
+//! (see `vendor/README.md` for the policy). The surface mirrors rand 0.8:
+//! [`Rng`], [`RngCore`], [`SeedableRng`], [`rngs::SmallRng`],
+//! [`seq::SliceRandom`], and the [`distributions::Standard`] plumbing
+//! behind `Rng::gen`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `SmallRng`, which is fine here: nothing in this
+//! repository depends on upstream's exact stream, only on determinism
+//! (two runs with one seed produce identical values) and reasonable
+//! statistical quality.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core of every generator: a source of uniform random `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] (as in upstream rand).
+pub trait Rng: RngCore {
+    /// Samples a value of any [`Standard`]-distributed type.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample_from(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = r.gen_range(0..5);
+            assert!(y < 5);
+            let f: f64 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g: f32 = r.gen_range(0.001..0.1);
+            assert!((0.001..0.1).contains(&g));
+            let i: u32 = r.gen_range(1..=4);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn standard_types_sample() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let _: u8 = r.gen();
+        let _: u64 = r.gen();
+        let b: bool = r.gen();
+        let f: f32 = r.gen();
+        let d: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+        assert!((0.0..1.0).contains(&d));
+        let _ = b;
+    }
+}

@@ -1,0 +1,147 @@
+//! Workspace-local subset of the `rayon` API (offline build — see
+//! `vendor/README.md`).
+//!
+//! Implements the one pattern the workspace uses — `par_iter().map(f)
+//! .collect::<Vec<_>>()` — with real data parallelism: the input is
+//! split into contiguous chunks, one per available core, mapped on
+//! scoped threads, and reassembled **in input order**, so results are
+//! indistinguishable from the sequential map (rayon's own guarantee for
+//! indexed parallel iterators).
+
+use std::num::NonZeroUsize;
+
+/// `use rayon::prelude::*;`
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types whose references yield a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a shared reference).
+    type Item: Send + 'a;
+    /// The parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over shared references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// A parallel pipeline that can be mapped and collected.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Maps each item through `f` (executed on worker threads).
+    fn map<O, F>(self, f: F) -> MapParIter<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        MapParIter { inner: self, f }
+    }
+
+    /// Executes the pipeline and collects into `C` (order-preserving).
+    fn collect<C: FromOrderedParallel<Self::Item>>(self) -> C;
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromOrderedParallel<T> {
+    /// Builds the collection from in-order results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromOrderedParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `.par_iter()` over a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn collect<C: FromOrderedParallel<&'a T>>(self) -> C {
+        C::from_ordered(self.slice.iter().collect())
+    }
+}
+
+/// `.map(f)` stage.
+pub struct MapParIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, O, F> ParallelIterator for MapParIter<SliceParIter<'a, T>, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    type Item = O;
+
+    fn collect<C: FromOrderedParallel<O>>(self) -> C {
+        let slice = self.inner.slice;
+        let f = &self.f;
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(slice.len().max(1));
+        if threads <= 1 || slice.len() <= 1 {
+            return C::from_ordered(slice.iter().map(f).collect());
+        }
+        let chunk = slice.len().div_ceil(threads);
+        let mut parts: Vec<Vec<O>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slice
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        C::from_ordered(parts.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let par: Vec<u64> = input.par_iter().map(|x| x * 3).collect();
+        let ser: Vec<u64> = input.iter().map(|x| x * 3).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

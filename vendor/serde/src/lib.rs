@@ -1,0 +1,190 @@
+//! Workspace-local subset of the `serde` API (offline build — see
+//! `vendor/README.md`).
+//!
+//! Upstream serde separates data structures from data formats through
+//! the `Serializer` visitor traits. This workspace serializes to exactly
+//! one format — JSON lines out of the benchmark/serving harnesses — so
+//! the vendored subset collapses that indirection: [`Serialize`] writes
+//! JSON text directly and `serde_json::to_string` is a thin wrapper.
+//!
+//! [`Deserialize`] is a **marker trait only**: nothing in the workspace
+//! parses JSON back in. Deriving it records intent (and keeps signatures
+//! source-compatible with upstream) without dead parsing code. If a
+//! future change needs real deserialization, implement it then.
+
+// The derive macros live in the macro namespace, the traits below in the
+// type namespace, so `use serde::{Serialize, Deserialize}` brings both
+// into scope — the same trick upstream serde uses.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker for types whose serialized form is considered parseable; see
+/// the crate docs for why this is a marker in the vendored subset.
+pub trait Deserialize: Sized {}
+
+/// Encoding helpers used by generated impls (and usable directly).
+pub mod ser {
+    use super::Serialize;
+
+    /// Appends `"name":value` with a leading comma unless `first`.
+    pub fn write_field<T: Serialize + ?Sized>(
+        out: &mut String,
+        name: &str,
+        value: &T,
+        first: bool,
+    ) {
+        if !first {
+            out.push(',');
+        }
+        write_str(out, name);
+        out.push(':');
+        value.serialize_json(out);
+    }
+
+    /// Appends a JSON string literal with escaping.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Appends a float as JSON: non-finite values become `null` (JSON has
+    /// no NaN/inf), integral values keep a `.0` suffix as serde_json does.
+    pub fn write_f64(out: &mut String, v: f64) {
+        if !v.is_finite() {
+            out.push_str("null");
+            return;
+        }
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+macro_rules! serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_display_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_f64(out, *self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_f64(out, f64::from(*self));
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_str(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            ser::write_field(out, k, v, i == 0);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_containers() {
+        let mut s = String::new();
+        vec![1u32, 2, 3].serialize_json(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        let mut s = String::new();
+        Some("a\"b").serialize_json(&mut s);
+        assert_eq!(s, "\"a\\\"b\"");
+        let mut s = String::new();
+        Option::<u32>::None.serialize_json(&mut s);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        2.0f64.serialize_json(&mut s);
+        assert_eq!(s, "2.0");
+        let mut s = String::new();
+        f64::NAN.serialize_json(&mut s);
+        assert_eq!(s, "null");
+    }
+}

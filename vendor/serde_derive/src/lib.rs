@@ -1,0 +1,193 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` subset — written against `proc_macro` directly (no `syn`/
+//! `quote`, which are unavailable offline).
+//!
+//! Supported shapes, which cover every derive site in this workspace:
+//!
+//! * structs with named fields (no generics) — serialized as a JSON
+//!   object in declaration order;
+//! * enums whose variants are all unit variants — serialized as the
+//!   variant name string, as upstream serde does by default.
+//!
+//! `Deserialize` expands to a marker impl only: nothing in the workspace
+//! deserializes (results flow out as JSON lines), and keeping the trait
+//! a marker avoids pretending otherwise. Deriving it on unsupported
+//! shapes is therefore also fine.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields, declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, declaration order.
+    Enum(Vec<String>),
+}
+
+/// Skips one attribute (`#` + bracket group) if present.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse(input: TokenStream, trait_name: &str) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind_kw = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive({trait_name}): expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive({trait_name}): expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({trait_name}) on {name}: generic types are not supported by the vendored serde subset");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive({trait_name}) on {name}: only brace-bodied structs/enums are supported, got {other:?}"
+        ),
+    };
+    let kind = match kind_kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body, &name, trait_name)),
+        "enum" => Kind::Enum(parse_unit_variants(body, &name, trait_name)),
+        kw => panic!("derive({trait_name}): unsupported item kind `{kw}`"),
+    };
+    Input { name, kind }
+}
+
+fn parse_named_fields(body: TokenStream, name: &str, trait_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => panic!("derive({trait_name}) on {name}: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({trait_name}) on {name}: expected `:`, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(body: TokenStream, name: &str, trait_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => variants.push(i.to_string()),
+            other => panic!("derive({trait_name}) on {name}: expected variant, got {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "derive({trait_name}) on {name}: only unit enum variants are supported by the vendored serde subset"
+            ),
+            other => panic!("derive({trait_name}) on {name}: unexpected token {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (JSON-object / variant-name form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input, "Serialize");
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::Struct(fields) => {
+            let mut b = String::from("__out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                b.push_str(&format!(
+                    "::serde::ser::write_field(__out, \"{f}\", &self.{f}, {});\n",
+                    i == 0
+                ));
+            }
+            b.push_str("__out.push('}');");
+            b
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::ser::write_str(__out, \"{v}\"),\n"
+                ));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, __out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Derives the marker trait `serde::Deserialize` (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input, "Deserialize");
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("derive(Deserialize): generated impl must parse")
+}

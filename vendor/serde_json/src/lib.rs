@@ -1,0 +1,36 @@
+//! Workspace-local subset of `serde_json`: serialization to compact JSON
+//! strings. The vendored [`serde::Serialize`] already writes JSON text,
+//! so this crate is the entry point plus the upstream error signature.
+
+use std::fmt;
+
+/// Serialization error. The vendored encoder is infallible, so this is
+/// never constructed; it exists so call sites keep upstream's
+/// `Result`-returning signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_numbers_keep_decimal_point() {
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(super::to_string("x").unwrap(), "\"x\"");
+    }
+}
