@@ -30,4 +30,10 @@ fi
 # Smoke the serving benchmark: must produce deterministic curves.
 run cargo run --release --offline -p pagoda-bench --bin serve_curves -- --quick --json >/dev/null
 
+# Observability overhead gate: a disabled/null recorder may cost at most
+# 5% of simulator events/sec (the bin exits nonzero past the gate). The
+# committed BENCH_obs.json comes from a full-size run; the smoke result
+# goes to a scratch path so CI never dirties the tree.
+run cargo run --release --offline -p pagoda-bench --bin obs_overhead -- --smoke --out target/BENCH_obs_smoke.json
+
 echo "ci: all checks passed"

@@ -2,15 +2,32 @@
 //! spawning (the real system) and batched spawning (the Fig. 11 ablation).
 
 use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc};
+use pagoda_obs::Obs;
 
 use crate::summary::RunSummary;
+
+// The drivers stay on the deprecated blocking `task_spawn`: the paper's
+// spawn loop *is* the blocking spawn (pay the CPU cost, then block on a
+// free entry), and its exact cost ordering is what the Fig. 11 ablation
+// timelines measure.
+#[allow(deprecated)]
+fn spawn_blocking(rt: &mut PagodaRuntime, t: &TaskDesc) {
+    rt.task_spawn(t.clone()).expect("invalid task for Pagoda");
+}
 
 /// Continuous spawning: tasks are spawned as fast as the host can issue
 /// them and reaped with one `waitAll` — the paper's Pagoda configuration.
 pub fn run_pagoda(cfg: PagodaConfig, tasks: &[TaskDesc]) -> RunSummary {
+    run_pagoda_with_obs(cfg, tasks, Obs::off())
+}
+
+/// [`run_pagoda`] with an observability sink attached to every layer
+/// (runtime, device, bus) for the duration of the run.
+pub fn run_pagoda_with_obs(cfg: PagodaConfig, tasks: &[TaskDesc], obs: Obs) -> RunSummary {
     let mut rt = PagodaRuntime::new(cfg);
+    rt.attach_obs(obs);
     for t in tasks {
-        rt.task_spawn(t.clone()).expect("invalid task for Pagoda");
+        spawn_blocking(&mut rt, t);
     }
     rt.wait_all();
     rt.report().into()
@@ -25,7 +42,7 @@ pub fn run_pagoda_batched(cfg: PagodaConfig, tasks: &[TaskDesc], batch_size: usi
     let mut rt = PagodaRuntime::new(cfg);
     for chunk in tasks.chunks(batch_size) {
         for t in chunk {
-            rt.task_spawn(t.clone()).expect("invalid task for Pagoda");
+            spawn_blocking(&mut rt, t);
         }
         rt.wait_all();
     }

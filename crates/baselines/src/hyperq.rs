@@ -17,6 +17,7 @@ use desim::{Dur, SimTime};
 use gpu_arch::TaskShape;
 use gpu_sim::{DeviceConfig, GpuDevice, KernelDesc, Notify};
 use pagoda_core::TaskDesc;
+use pagoda_obs::{Counter, Obs};
 use pcie::{Direction, PcieBus, PcieConfig};
 
 use crate::summary::RunSummary;
@@ -30,6 +31,9 @@ pub struct HyperQConfig {
     pub pcie: PcieConfig,
     /// Host CPU time per task (API calls: memcpy enqueue + kernel launch).
     pub spawn_cpu_cost: Dur,
+    /// Observability sink, attached to the device and bus for the run
+    /// (kernel launches, engine events, PCIe counters, task counts).
+    pub obs: Obs,
 }
 
 impl Default for HyperQConfig {
@@ -38,6 +42,7 @@ impl Default for HyperQConfig {
             device: DeviceConfig::titan_x(),
             pcie: PcieConfig::default(),
             spawn_cpu_cost: Dur::from_ns(1000),
+            obs: Obs::off(),
         }
     }
 }
@@ -50,6 +55,8 @@ impl Default for HyperQConfig {
 pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
     let mut device = GpuDevice::new(cfg.device.clone());
     let mut bus = PcieBus::new(cfg.pcie.clone());
+    device.attach_obs(cfg.obs.clone());
+    bus.attach_obs(cfg.obs.clone());
     let h2d = bus.create_stream();
     let d2h = bus.create_stream();
 
@@ -73,6 +80,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
         staged: &mut HashMap<u64, usize>,
         gpu_done: &mut [Option<SimTime>],
         output_done: &mut [Option<SimTime>],
+        obs: &Obs,
     ) {
         for n in batch {
             match n {
@@ -90,6 +98,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
                 }
                 Notify::KernelDone { tag } => {
                     let i = tag as usize;
+                    obs.count(Counter::TasksFreed, 1);
                     gpu_done[i] = Some(t);
                     output_done[i] = Some(if tasks[i].output_bytes > 0 {
                         bus.transfer(t, d2h, Direction::DeviceToHost, tasks[i].output_bytes)
@@ -104,6 +113,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
     }
 
     for (i, t) in tasks.iter().enumerate() {
+        cfg.obs.count(Counter::TasksSpawned, 1);
         host_now = host_now.max(device.now()) + cfg.spawn_cpu_cost;
         // Keep the device co-simulated with the host timeline, launching
         // kernels whose input copies have already landed.
@@ -118,6 +128,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
                 &mut staged,
                 &mut gpu_done,
                 &mut output_done,
+                &cfg.obs,
             );
         }
         spawn_time[i] = host_now;
@@ -143,6 +154,7 @@ pub fn run_hyperq(cfg: &HyperQConfig, tasks: &[TaskDesc]) -> RunSummary {
             &mut staged,
             &mut gpu_done,
             &mut output_done,
+            &cfg.obs,
         );
     }
 
@@ -208,6 +220,23 @@ mod tests {
         let b = run_hyperq(&HyperQConfig::default(), &narrow_tasks(256, 400_000));
         let ratio = b.compute_done.as_secs_f64() / a.compute_done.as_secs_f64();
         assert!(ratio > 1.7, "expected ~2x scaling, got {ratio}");
+    }
+
+    #[test]
+    fn obs_counts_launches_and_completions() {
+        let (obs, rec) = Obs::recording();
+        let cfg = HyperQConfig {
+            obs,
+            ..HyperQConfig::default()
+        };
+        let s = run_hyperq(&cfg, &narrow_tasks(16, 20_000));
+        assert_eq!(s.tasks, 16);
+        let buf = rec.snapshot();
+        assert_eq!(buf.counter(Counter::TasksSpawned), 16);
+        assert_eq!(buf.counter(Counter::TasksFreed), 16);
+        assert_eq!(buf.counter(Counter::KernelLaunches), 16);
+        assert!(buf.counter(Counter::EngineEvents) > 0);
+        assert!(!buf.smm.is_empty(), "native launches emit SMM samples");
     }
 
     #[test]

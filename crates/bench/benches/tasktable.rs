@@ -15,6 +15,10 @@ fn spawn_burst(rows: u32, n: usize) -> f64 {
     };
     let mut rt = PagodaRuntime::new(cfg);
     for _ in 0..n {
+        // This benchmark measures the blocking spawn path itself (entry
+        // search + copy-backs + timeout pacing), so it stays on the
+        // deprecated `task_spawn`.
+        #[allow(deprecated)]
         rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(50_000, 8.0)))
             .unwrap();
     }

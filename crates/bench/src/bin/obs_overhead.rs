@@ -1,0 +1,217 @@
+//! obs_overhead — the cost of observing the simulator.
+//!
+//! Runs the same deterministic Pagoda workload three times:
+//!
+//! * `off`  — `Obs::off()`: instrumentation compiled in, recorder
+//!   absent. Every obs site is one `Option` discriminant test. This is
+//!   the configuration every perf experiment runs in, so its cost is
+//!   what the CI gate protects.
+//! * `null` — a [`NullRecorder`]: dynamic dispatch taken, events
+//!   discarded. Isolates the dispatch cost from the buffering cost.
+//! * `mem`  — a [`MemRecorder`]: everything buffered, the price of a
+//!   full trace capture.
+//!
+//! Throughput is simulator events per wall-clock second (the device
+//! engine's delivered-event count over `Instant` time); the simulated
+//! history — and therefore the event count — is byte-identical across
+//! modes, so only the wall clock varies. Each mode runs `--reps` times
+//! interleaved and keeps its best time, which converges on true cost
+//! under CI noise.
+//!
+//! Writes `BENCH_obs.json` (override with `--out PATH`) and exits
+//! nonzero if the NullRecorder regresses events/sec by more than the
+//! `--gate` percentage (default 5%) against the no-obs baseline.
+//!
+//! Run with `cargo run --release -p pagoda-bench --bin obs_overhead`
+//! (add `--smoke` for the CI-sized run).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_sim::WarpWork;
+use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc};
+use pagoda_obs::{MemRecorder, NullRecorder, Obs};
+use serde::Serialize;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+struct ModeResult {
+    mode: String,
+    /// Best-of-reps wall-clock time for the whole run, milliseconds.
+    best_ms: f64,
+    /// Device-engine events delivered (identical across modes).
+    events: u64,
+    /// events / best_ms, in events per wall-clock second.
+    events_per_sec: f64,
+    /// Regression vs the `off` baseline, percent (negative = faster).
+    overhead_pct: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    tasks: u64,
+    reps: u64,
+    gate_pct: f64,
+    off: ModeResult,
+    null: ModeResult,
+    mem: ModeResult,
+    /// Whether `null.overhead_pct <= gate_pct`.
+    pass: bool,
+}
+
+fn task() -> TaskDesc {
+    let mut t = TaskDesc::uniform(128, WarpWork::compute(60_000, 8.0));
+    t.input_bytes = 1024;
+    t.output_bytes = 1024;
+    t
+}
+
+/// Runs `n` narrow tasks with the given obs handle attached to every
+/// layer; returns (wall seconds, device events delivered).
+fn run_once(n: usize, obs: Obs) -> (f64, u64) {
+    let start = Instant::now();
+    let mut rt = PagodaRuntime::new(PagodaConfig::default());
+    rt.attach_obs(obs);
+    let mut spawned = 0usize;
+    let mut pending = task();
+    while spawned < n {
+        match rt.submit(pending) {
+            Ok(_) => {
+                spawned += 1;
+                pending = task();
+            }
+            Err(SubmitError::Full(desc)) => {
+                rt.sync_table();
+                if !rt.capacity().has_room() {
+                    let timeout = rt.config().wait_timeout;
+                    rt.advance_to(rt.host_now() + timeout);
+                }
+                pending = desc;
+            }
+            Err(e) => panic!("unspawnable bench task: {e}"),
+        }
+    }
+    rt.wait_all();
+    assert_eq!(rt.report().tasks as usize, n, "bench run must complete");
+    (start.elapsed().as_secs_f64(), rt.engine_stats().delivered)
+}
+
+fn main() {
+    let mut n: usize = 4096;
+    let mut reps: usize = 5;
+    let mut gate_pct: f64 = 5.0;
+    let mut out = String::from("BENCH_obs.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => {
+                n = 768;
+                reps = 3;
+            }
+            "--tasks" => {
+                n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tasks needs a number");
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a number");
+            }
+            "--gate" => {
+                gate_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--gate needs a percentage");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --smoke --tasks N --reps N --gate PCT --out PATH"
+            ),
+        }
+    }
+
+    type ObsCtor = fn() -> Obs;
+    let modes: [(&str, ObsCtor); 3] = [
+        ("off", Obs::off),
+        ("null", || Obs::new(Arc::new(NullRecorder))),
+        ("mem", || Obs::new(Arc::new(MemRecorder::new()))),
+    ];
+
+    // Warm up once (page cache, allocator), then interleave the reps so
+    // slow drift (thermal, noisy neighbours) hits every mode equally.
+    run_once(n.min(256), Obs::off());
+    let mut best = [f64::INFINITY; 3];
+    let mut events = [0u64; 3];
+    for rep in 0..reps {
+        for (i, (name, mk)) in modes.iter().enumerate() {
+            let (secs, ev) = run_once(n, mk());
+            if rep == 0 {
+                events[i] = ev;
+            } else {
+                assert_eq!(events[i], ev, "{name}: event count must be deterministic");
+            }
+            if secs < best[i] {
+                best[i] = secs;
+            }
+        }
+    }
+    assert_eq!(
+        events[0], events[1],
+        "recorders must not change the simulated history"
+    );
+    assert_eq!(events[0], events[2]);
+
+    let evps: Vec<f64> = (0..3).map(|i| events[i] as f64 / best[i]).collect();
+    let overhead = |i: usize| 100.0 * (evps[0] - evps[i]) / evps[0];
+    let mk_result = |i: usize| ModeResult {
+        mode: modes[i].0.to_string(),
+        best_ms: best[i] * 1e3,
+        events: events[i],
+        events_per_sec: evps[i],
+        overhead_pct: overhead(i),
+    };
+
+    let report = BenchReport {
+        bench: "obs_overhead".to_string(),
+        tasks: n as u64,
+        reps: reps as u64,
+        gate_pct,
+        off: mk_result(0),
+        null: mk_result(1),
+        mem: mk_result(2),
+        pass: overhead(1) <= gate_pct,
+    };
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>10}",
+        "mode", "best(ms)", "events", "events/s", "overhead"
+    );
+    for r in [&report.off, &report.null, &report.mem] {
+        println!(
+            "{:>6} {:>12.1} {:>12} {:>14.0} {:>9.2}%",
+            r.mode, r.best_ms, r.events, r.events_per_sec, r.overhead_pct
+        );
+    }
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_obs.json");
+    println!("wrote {out}");
+
+    if !report.pass {
+        eprintln!(
+            "FAIL: NullRecorder overhead {:.2}% exceeds the {:.1}% gate",
+            report.null.overhead_pct, gate_pct
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "PASS: NullRecorder overhead {:.2}% within the {:.1}% gate",
+        report.null.overhead_pct, gate_pct
+    );
+}

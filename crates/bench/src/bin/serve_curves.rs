@@ -183,7 +183,7 @@ fn main() {
     // Calibration quality must not depend on --quick: a short probe is
     // dominated by its pipeline-drain tail and understates capacity.
     let probe = 512;
-    let runtime = serving_slice(SLICE_SMS);
+    let runtime = serving_slice(SLICE_SMS).expect("nonzero slice");
     let loads: &[f64] = if cli.quick {
         &[0.8, 2.0]
     } else {
@@ -209,7 +209,11 @@ fn main() {
         let inv: f64 = mix
             .tenants
             .iter()
-            .map(|mt| mt.share / calibrate_capacity(&runtime, mt.bench, &GenOpts::default(), probe))
+            .map(|mt| {
+                mt.share
+                    / calibrate_capacity(&runtime, mt.bench, &GenOpts::default(), probe)
+                        .expect("calibration config is valid")
+            })
             .sum();
         let capacity = 1.0 / inv;
 
@@ -218,7 +222,7 @@ fn main() {
                 let rate = load * capacity;
                 let mut cfg = build_cfg(&mix, policy, unbounded, rate, tasks_per_tenant, &runtime);
                 cfg.offered_load = load;
-                let out = serve(&cfg);
+                let out = serve(&cfg).expect("sweep config is valid");
 
                 let sojourns: Vec<f64> = out.records.iter().filter_map(|r| r.sojourn_us).collect();
                 let offered = out.records.len() as f64;

@@ -83,6 +83,163 @@ impl PagodaConfig {
     pub fn total_entries(&self) -> u32 {
         self.num_mtbs() * self.rows_per_column
     }
+
+    /// Starts a builder seeded with the defaults; [`build`](PagodaConfigBuilder::build)
+    /// validates the result.
+    pub fn builder() -> PagodaConfigBuilder {
+        PagodaConfigBuilder {
+            cfg: PagodaConfig::default(),
+        }
+    }
+
+    /// Checks the invariants [`PagodaConfigBuilder::build`] enforces.
+    /// Hand-assembled configurations can call this before constructing a
+    /// runtime; the runtime itself assumes a valid configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.rows_per_column == 0 {
+            return Err(ConfigError::ZeroRows);
+        }
+        if self.rows_per_column > MAX_ROWS_PER_COLUMN {
+            return Err(ConfigError::TooManyRows {
+                rows: self.rows_per_column,
+                max: MAX_ROWS_PER_COLUMN,
+            });
+        }
+        if self.entry_bytes == 0 {
+            return Err(ConfigError::ZeroEntryBytes);
+        }
+        if !(self.sched_cpi.is_finite() && self.sched_cpi > 0.0) {
+            return Err(ConfigError::NonPositiveCpi {
+                cpi: self.sched_cpi,
+            });
+        }
+        if self.wait_timeout == Dur::ZERO {
+            return Err(ConfigError::ZeroWaitTimeout);
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on TaskTable rows per column. The scheduler warp scans its
+/// whole column every pass; beyond this the scan cost model (a flat
+/// `sched_scan_cycles`) stops being credible.
+pub const MAX_ROWS_PER_COLUMN: u32 = 1024;
+
+/// Why a [`PagodaConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `rows_per_column == 0`: the TaskTable would hold no entries.
+    ZeroRows,
+    /// `rows_per_column` exceeds [`MAX_ROWS_PER_COLUMN`].
+    TooManyRows {
+        /// Requested rows.
+        rows: u32,
+        /// The cap.
+        max: u32,
+    },
+    /// `entry_bytes == 0`: entry copies would be free, hiding the PCIe
+    /// cost the paper measures.
+    ZeroEntryBytes,
+    /// `sched_cpi` is not a finite positive number.
+    NonPositiveCpi {
+        /// The offending value.
+        cpi: f64,
+    },
+    /// `wait_timeout == 0`: `wait`/`waitAll` would poll without advancing
+    /// time and trip the livelock guard.
+    ZeroWaitTimeout,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRows => write!(f, "rows_per_column must be at least 1"),
+            ConfigError::TooManyRows { rows, max } => {
+                write!(f, "rows_per_column {rows} exceeds the maximum {max}")
+            }
+            ConfigError::ZeroEntryBytes => write!(f, "entry_bytes must be nonzero"),
+            ConfigError::NonPositiveCpi { cpi } => {
+                write!(f, "sched_cpi must be finite and positive, got {cpi}")
+            }
+            ConfigError::ZeroWaitTimeout => write!(f, "wait_timeout must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent constructor for [`PagodaConfig`]; invalid combinations are
+/// rejected at [`build`](Self::build) instead of panicking inside the
+/// runtime.
+///
+/// ```
+/// use pagoda_core::PagodaConfig;
+///
+/// let cfg = PagodaConfig::builder()
+///     .rows_per_column(16)
+///     .entry_bytes(256)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.total_entries(), cfg.num_mtbs() * 16);
+/// assert!(PagodaConfig::builder().rows_per_column(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagodaConfigBuilder {
+    cfg: PagodaConfig,
+}
+
+impl PagodaConfigBuilder {
+    /// Sets the simulated GPU.
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.cfg.device = device;
+        self
+    }
+    /// Sets the simulated interconnect.
+    pub fn pcie(mut self, pcie: PcieConfig) -> Self {
+        self.cfg.pcie = pcie;
+        self
+    }
+    /// Sets TaskTable rows per column (paper: 32).
+    pub fn rows_per_column(mut self, rows: u32) -> Self {
+        self.cfg.rows_per_column = rows;
+        self
+    }
+    /// Sets the bytes of one TaskTable entry as copied over PCIe.
+    pub fn entry_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.entry_bytes = bytes;
+        self
+    }
+    /// Sets the host CPU work per spawn call.
+    pub fn spawn_cpu_cost(mut self, cost: Dur) -> Self {
+        self.cfg.spawn_cpu_cost = cost;
+        self
+    }
+    /// Sets the `wait`/`waitAll` polling timeout.
+    pub fn wait_timeout(mut self, timeout: Dur) -> Self {
+        self.cfg.wait_timeout = timeout;
+        self
+    }
+    /// Sets the scheduler-warp CPI.
+    pub fn sched_cpi(mut self, cpi: f64) -> Self {
+        self.cfg.sched_cpi = cpi;
+        self
+    }
+    /// Sets the cycles for one column scan.
+    pub fn sched_scan_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.sched_scan_cycles = cycles;
+        self
+    }
+    /// Sets the cycles for one ready-chain update.
+    pub fn chain_update_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.chain_update_cycles = cycles;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<PagodaConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +251,85 @@ mod tests {
         let c = PagodaConfig::default();
         assert_eq!(c.num_mtbs(), 48);
         assert_eq!(c.total_entries(), 48 * 32);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(PagodaConfig::default().validate(), Ok(()));
+        assert!(PagodaConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_knob() {
+        assert_eq!(
+            PagodaConfig::builder()
+                .rows_per_column(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroRows
+        );
+        assert_eq!(
+            PagodaConfig::builder()
+                .rows_per_column(MAX_ROWS_PER_COLUMN + 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooManyRows {
+                rows: MAX_ROWS_PER_COLUMN + 1,
+                max: MAX_ROWS_PER_COLUMN
+            }
+        );
+        assert_eq!(
+            PagodaConfig::builder().entry_bytes(0).build().unwrap_err(),
+            ConfigError::ZeroEntryBytes
+        );
+        assert!(matches!(
+            PagodaConfig::builder().sched_cpi(0.0).build().unwrap_err(),
+            ConfigError::NonPositiveCpi { .. }
+        ));
+        assert!(matches!(
+            PagodaConfig::builder()
+                .sched_cpi(f64::NAN)
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositiveCpi { .. }
+        ));
+        assert_eq!(
+            PagodaConfig::builder()
+                .wait_timeout(Dur::ZERO)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWaitTimeout
+        );
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = PagodaConfig::builder()
+            .rows_per_column(8)
+            .entry_bytes(128)
+            .spawn_cpu_cost(Dur::from_ns(500))
+            .wait_timeout(Dur::from_us(5))
+            .sched_cpi(1.5)
+            .sched_scan_cycles(90)
+            .chain_update_cycles(110)
+            .build()
+            .unwrap();
+        assert_eq!(c.rows_per_column, 8);
+        assert_eq!(c.entry_bytes, 128);
+        assert_eq!(c.spawn_cpu_cost, Dur::from_ns(500));
+        assert_eq!(c.wait_timeout, Dur::from_us(5));
+        assert!((c.sched_cpi - 1.5).abs() < 1e-12);
+        assert_eq!(c.sched_scan_cycles, 90);
+        assert_eq!(c.chain_update_cycles, 110);
+    }
+
+    #[test]
+    fn config_error_messages_name_the_knob() {
+        assert!(ConfigError::ZeroRows
+            .to_string()
+            .contains("rows_per_column"));
+        assert!(ConfigError::ZeroWaitTimeout
+            .to_string()
+            .contains("wait_timeout"));
     }
 }

@@ -20,7 +20,9 @@
 //! * [`smem`] — buddy shared-memory allocator with deferred frees (§5.1)
 //! * [`barrier`] — named-barrier ID recycling (§5.2)
 //! * [`task`] — `taskSpawn` descriptors (Table 1)
-//! * [`config`] — calibration constants
+//! * [`config`] — calibration constants, with a validating
+//!   [`PagodaConfig::builder`]
+//! * [`errors`] — the typed [`PagodaError`]/[`SubmitError`] hierarchy
 //!
 //! # Example
 //!
@@ -32,7 +34,7 @@
 //! // Spawn 100 narrow tasks of 128 threads each.
 //! let ids: Vec<_> = (0..100)
 //!     .map(|_| {
-//!         rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(50_000, 4.0)))
+//!         rt.submit(TaskDesc::uniform(128, WarpWork::compute(50_000, 4.0)))
 //!             .unwrap()
 //!     })
 //!     .collect();
@@ -41,9 +43,27 @@
 //! assert_eq!(report.tasks, 100);
 //! assert!(rt.task_latency(ids[0]).is_some());
 //! ```
+//!
+//! To observe a run, attach a recorder from `pagoda_obs`:
+//!
+//! ```
+//! use gpu_sim::WarpWork;
+//! use pagoda_core::{PagodaRuntime, TaskDesc};
+//! use pagoda_obs::{Counter, Obs};
+//!
+//! let mut rt = PagodaRuntime::titan_x();
+//! let (obs, rec) = Obs::recording();
+//! rt.attach_obs(obs);
+//! let t = rt.submit(TaskDesc::uniform(64, WarpWork::compute(10_000, 2.0))).unwrap();
+//! rt.wait(t).unwrap();
+//! assert_eq!(rec.snapshot().counter(Counter::TasksSpawned), 1);
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod barrier;
 pub mod config;
+pub mod errors;
 mod mtb;
 pub mod runtime;
 pub mod smem;
@@ -52,8 +72,11 @@ pub mod task;
 pub mod trace;
 pub mod warptable;
 
-pub use config::PagodaConfig;
-pub use runtime::{PagodaRuntime, RunReport, TrySpawnError};
+pub use config::{ConfigError, PagodaConfig, PagodaConfigBuilder};
+pub use errors::{Capacity, PagodaError, SubmitError};
+#[allow(deprecated)]
+pub use runtime::TrySpawnError;
+pub use runtime::{PagodaRuntime, RunReport};
 pub use table::{EntryIndex, EntryState, Ready, TaskId};
 pub use task::{TaskDesc, TaskError, MAX_THREADS_PER_TASK_TB};
 pub use trace::{write_chrome_trace, TaskTrace};

@@ -13,21 +13,31 @@
 //!   cycle Pagoda spends contends with task execution for SMM issue slots,
 //!   exactly as on hardware.
 //!
-//! The public API mirrors the paper's Table 1: [`PagodaRuntime::task_spawn`],
-//! [`PagodaRuntime::wait`], [`PagodaRuntime::check`],
-//! [`PagodaRuntime::wait_all`]. The GPU-side API (`getTid`, `syncBlock`,
-//! `getSMPtr`) appears structurally: a task's [`TaskDesc::blocks`] encode
-//! per-warp work and barriers, and shared-memory requests are granted from
-//! the MTB's buddy-managed slice.
+//! The public API mirrors the paper's Table 1 behind one spawn entry
+//! point: [`PagodaRuntime::submit`] (with [`PagodaRuntime::capacity`] as
+//! its headroom probe), plus [`PagodaRuntime::wait`],
+//! [`PagodaRuntime::check`], [`PagodaRuntime::wait_all`]. The GPU-side API
+//! (`getTid`, `syncBlock`, `getSMPtr`) appears structurally: a task's
+//! [`TaskDesc::blocks`] encode per-warp work and barriers, and
+//! shared-memory requests are granted from the MTB's buddy-managed slice.
+//!
+//! Fallible calls return [`PagodaError`]/[`SubmitError`] values; the
+//! runtime panics only on *internal invariant* violations (messages name
+//! the invariant). Attach a [`pagoda_obs::Recorder`] via
+//! [`PagodaRuntime::attach_obs`] to capture task lifecycle spans, per-MTB
+//! occupancy timelines, and counters across the host, bus, and device
+//! layers.
 
 use std::collections::HashMap;
 
 use desim::{Dur, SimTime};
 use gpu_arch::TaskShape;
 use gpu_sim::{GpuDevice, GroupId, Notify, Segment, WarpWork};
+use pagoda_obs::{Counter, MtbSample, Obs, TaskState};
 use pcie::{Direction, PcieBus, StreamId};
 
 use crate::config::PagodaConfig;
+use crate::errors::{Capacity, PagodaError, SubmitError};
 use crate::mtb::{Action, JobPhase, MtbState, PlacementJob};
 use crate::table::{EntryIndex, EntryState, Ready, TaskId, TaskTableSide};
 use crate::task::{TaskDesc, TaskError};
@@ -104,27 +114,9 @@ pub struct RunReport {
     pub gpu_busy: Dur,
 }
 
-/// Why [`PagodaRuntime::try_spawn`] declined to spawn.
-#[derive(Debug)]
-pub enum TrySpawnError {
-    /// Every TaskTable entry is occupied in the CPU's current view. The
-    /// description is handed back so the caller can requeue it without a
-    /// clone; a [`PagodaRuntime::sync_table`] may reveal freed entries.
-    Full(TaskDesc),
-    /// The description can never spawn (shape/resource validation).
-    Invalid(TaskError),
-}
-
-impl std::fmt::Display for TrySpawnError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TrySpawnError::Full(_) => write!(f, "task table full in the CPU view"),
-            TrySpawnError::Invalid(e) => write!(f, "invalid task: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for TrySpawnError {}
+/// Former name of [`SubmitError`], kept for source compatibility.
+#[deprecated(since = "0.3.0", note = "renamed to SubmitError")]
+pub type TrySpawnError = SubmitError;
 
 /// The runtime. Create one per workload run; drive it with the Table 1
 /// API; read a [`RunReport`] at the end.
@@ -154,6 +146,7 @@ pub struct PagodaRuntime {
     spawn_cursor: u32,
     staged: HashMap<u64, HostEv>,
     next_stage_tag: u64,
+    obs: Obs,
 }
 
 impl PagodaRuntime {
@@ -218,8 +211,20 @@ impl PagodaRuntime {
             spawn_cursor: 0,
             staged: HashMap::new(),
             next_stage_tag: 0,
+            obs: Obs::off(),
             cfg,
         }
+    }
+
+    /// Attaches an observability sink to every layer this runtime drives:
+    /// the runtime itself (task lifecycle spans, TaskTable counters, MTB
+    /// occupancy samples), the device (per-SMM residency samples, engine
+    /// events), and the bus (PCIe transaction/byte counters). Pass
+    /// [`Obs::off`] to detach.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.device.attach_obs(obs.clone());
+        self.bus.attach_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// A runtime on the paper's Titan X with default calibration.
@@ -236,10 +241,46 @@ impl PagodaRuntime {
     // Table 1 API — CPU side
     // ==================================================================
 
-    /// `taskSpawn`: non-blocking spawn. Copies the task's input and its
-    /// TaskTable entry to the GPU asynchronously and returns a task ID.
-    /// Blocks only when every TaskTable entry is occupied (then performs
-    /// the lazy aggregate copy-back of §4.2.2 to discover freed entries).
+    /// `taskSpawn`: submits a task without blocking. Copies the task's
+    /// input and its TaskTable entry to the GPU asynchronously and returns
+    /// a task ID. Spawns only if the CPU's current view of the TaskTable
+    /// has a free entry, otherwise hands the description back immediately
+    /// with [`SubmitError::Full`].
+    ///
+    /// A full table costs *no* simulated host time — the caller decides
+    /// whether to pay for a [`PagodaRuntime::sync_table`] refresh, shed
+    /// the task, or try again later. This is the hook an admission
+    /// controller in front of the runtime builds on; a blocking spawn is
+    /// the retry loop `sync_table` + `advance_to` around it.
+    pub fn submit(&mut self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
+        self.validate_for_device(&desc)?;
+        let Some(entry) = self.find_free_entry() else {
+            return Err(SubmitError::Full(desc));
+        };
+        self.host_advance(self.cfg.spawn_cpu_cost);
+        Ok(self.spawn_at(entry, desc))
+    }
+
+    /// TaskTable headroom in the CPU's current view: how many consecutive
+    /// [`PagodaRuntime::submit`] calls are guaranteed to succeed before
+    /// the next table refresh. The GPU may have freed more (the CPU only
+    /// learns via copy-backs; §4.2.2's lazy updates).
+    pub fn capacity(&self) -> Capacity {
+        Capacity {
+            known_free: self.cpu_table.free_entries() as u32,
+            total: self.cfg.total_entries(),
+        }
+    }
+
+    /// Blocking `taskSpawn`: like [`PagodaRuntime::submit`] but when the
+    /// table is full it performs the lazy aggregate copy-back of §4.2.2
+    /// (and timeout-paced retries) until an entry frees.
+    ///
+    /// Deprecated: call [`PagodaRuntime::submit`] and drive the
+    /// `sync_table`/`advance_to` retry loop explicitly. Note one timing
+    /// difference retained for compatibility: this method charges
+    /// `spawn_cpu_cost` *before* probing the table, `submit` after.
+    #[deprecated(since = "0.3.0", note = "use submit() with an explicit retry loop")]
     pub fn task_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TaskError> {
         self.validate_for_device(&desc)?;
         self.host_advance(self.cfg.spawn_cpu_cost);
@@ -247,32 +288,16 @@ impl PagodaRuntime {
         Ok(self.spawn_at(entry, desc))
     }
 
-    /// Non-blocking `taskSpawn` probe: spawns only if the CPU's current
-    /// view of the TaskTable has a free entry, otherwise hands the
-    /// description back immediately with [`TrySpawnError::Full`].
-    ///
-    /// Unlike [`PagodaRuntime::task_spawn`], a full table costs *no*
-    /// simulated host time here — the caller decides whether to pay for a
-    /// [`PagodaRuntime::sync_table`] refresh, shed the task, or try again
-    /// later. This is the hook an admission controller in front of the
-    /// runtime builds on.
-    pub fn try_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TrySpawnError> {
-        if let Err(e) = self.validate_for_device(&desc) {
-            return Err(TrySpawnError::Invalid(e));
-        }
-        let Some(entry) = self.find_free_entry() else {
-            return Err(TrySpawnError::Full(desc));
-        };
-        self.host_advance(self.cfg.spawn_cpu_cost);
-        Ok(self.spawn_at(entry, desc))
+    /// Former name of [`PagodaRuntime::submit`].
+    #[deprecated(since = "0.3.0", note = "renamed to submit()")]
+    pub fn try_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
+        self.submit(desc)
     }
 
-    /// Free TaskTable entries in the CPU's current view — how many
-    /// consecutive [`PagodaRuntime::try_spawn`] calls are guaranteed to
-    /// succeed before the next table refresh. The GPU may have freed more
-    /// (the CPU only learns via copy-backs; §4.2.2's lazy updates).
+    /// Former shape of [`PagodaRuntime::capacity`].
+    #[deprecated(since = "0.3.0", note = "use capacity().known_free")]
     pub fn spawn_capacity(&self) -> u32 {
-        self.cpu_table.free_entries() as u32
+        self.capacity().known_free
     }
 
     /// Refreshes the CPU's view of the TaskTable: flushes the spawn
@@ -295,8 +320,11 @@ impl PagodaRuntime {
     /// Whether the CPU has already observed `t`'s completion via a
     /// copy-back. Free, unlike [`PagodaRuntime::check`] — it reads host
     /// state and never touches the bus.
-    pub fn observed_done(&self, t: TaskId) -> bool {
-        self.tasks[(t.0 - TaskId::FIRST.0) as usize].observed_done
+    ///
+    /// # Errors
+    /// [`PagodaError::UnknownTask`] if this runtime never issued `t`.
+    pub fn observed_done(&self, t: TaskId) -> Result<bool, PagodaError> {
+        Ok(self.tasks[self.tix(t)?].observed_done)
     }
 
     /// The configuration this runtime was booted with.
@@ -374,24 +402,35 @@ impl PagodaRuntime {
             observed_done: false,
         });
         self.last_spawned = Some(id);
+        self.obs.count(Counter::TasksSpawned, 1);
+        self.obs
+            .task(self.host_now.as_ps(), id.0, TaskState::Spawned);
         id
     }
 
     /// `check`: non-blocking completion query (costs one TaskTable-entry
     /// copy-back, since completion is only observable from device memory).
-    pub fn check(&mut self, t: TaskId) -> bool {
+    ///
+    /// # Errors
+    /// [`PagodaError::UnknownTask`] if this runtime never issued `t`.
+    pub fn check(&mut self, t: TaskId) -> Result<bool, PagodaError> {
+        self.tix(t)?;
         if self.rec(t).observed_done {
-            return true;
+            return Ok(true);
         }
         self.flush_last();
         let e = self.rec(t).entry;
         self.copyback_entry(e);
-        self.rec(t).observed_done
+        Ok(self.rec(t).observed_done)
     }
 
     /// `wait`: blocks (simulated) until task `t` completes and its output
     /// copy has landed in host memory.
-    pub fn wait(&mut self, t: TaskId) {
+    ///
+    /// # Errors
+    /// [`PagodaError::UnknownTask`] if this runtime never issued `t`.
+    pub fn wait(&mut self, t: TaskId) -> Result<(), PagodaError> {
+        self.tix(t)?;
         self.flush_last();
         let mut iterations = 0u64;
         while !self.rec(t).observed_done {
@@ -405,10 +444,11 @@ impl PagodaRuntime {
         let out = self
             .rec(t)
             .output_done
-            .expect("observed but no output time");
+            .expect("invariant: observed_done task has an output_done time");
         if out > self.host_now {
             self.host_advance_to(out);
         }
+        Ok(())
     }
 
     /// `waitAll`: blocks until every spawned task completes, using bulk
@@ -428,6 +468,14 @@ impl PagodaRuntime {
                 self.host_advance_to(last_out);
             }
         }
+    }
+
+    /// The device event-engine's counters (scheduled/delivered/...):
+    /// the denominator of the `obs_overhead` bench's events/sec and a
+    /// cheap determinism fingerprint (identical runs deliver identical
+    /// event counts).
+    pub fn engine_stats(&self) -> desim::EngineStats {
+        self.device.engine_stats()
     }
 
     /// Measurements for the run so far. Call after [`PagodaRuntime::wait_all`].
@@ -458,17 +506,25 @@ impl PagodaRuntime {
         }
     }
 
-    /// Spawn→GPU-completion latency of one task, if it has completed.
+    /// Spawn→GPU-completion latency of one task. `None` until the task
+    /// completes (or if `t` was never issued by this runtime).
     pub fn task_latency(&self, t: TaskId) -> Option<Dur> {
-        let r = &self.tasks[(t.0 - TaskId::FIRST.0) as usize];
+        let r = self.tasks.get(t.0.checked_sub(TaskId::FIRST.0)? as usize)?;
         r.gpu_done.map(|d| d - r.spawn_time)
     }
 
     /// The recorded timeline of one task (see [`crate::trace`]).
-    pub fn trace(&self, t: TaskId) -> TaskTrace {
-        let r = &self.tasks[(t.0 - TaskId::FIRST.0) as usize];
+    ///
+    /// # Errors
+    /// [`PagodaError::UnknownTask`] if this runtime never issued `t`.
+    pub fn trace(&self, t: TaskId) -> Result<TaskTrace, PagodaError> {
+        Ok(self.trace_at(self.tix(t)?))
+    }
+
+    fn trace_at(&self, tix: usize) -> TaskTrace {
+        let r = &self.tasks[tix];
         TaskTrace {
-            task: t,
+            task: TaskId(TaskId::FIRST.0 + tix as u64),
             column: r.entry.col,
             spawned: r.spawn_time,
             entry_visible: r.entry_visible,
@@ -481,9 +537,7 @@ impl PagodaRuntime {
 
     /// Timelines of every spawned task, in spawn order.
     pub fn traces(&self) -> Vec<TaskTrace> {
-        (0..self.tasks.len() as u64)
-            .map(|i| self.trace(TaskId(TaskId::FIRST.0 + i)))
-            .collect()
+        (0..self.tasks.len()).map(|i| self.trace_at(i)).collect()
     }
 
     /// Number of tasks spawned so far.
@@ -495,6 +549,20 @@ impl PagodaRuntime {
     // Host internals
     // ==================================================================
 
+    /// Bounds-checks a caller-supplied [`TaskId`] and resolves it to an
+    /// index into `tasks`.
+    fn tix(&self, t: TaskId) -> Result<usize, PagodaError> {
+        t.0.checked_sub(TaskId::FIRST.0)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.tasks.len())
+            .ok_or(PagodaError::UnknownTask {
+                task: t,
+                spawned: self.tasks.len() as u64,
+            })
+    }
+
+    /// Internal lookup for ids the runtime itself issued; unlike
+    /// [`Self::tix`] an out-of-range id here is an invariant violation.
     fn rec(&mut self, t: TaskId) -> &mut TaskRecord {
         &mut self.tasks[(t.0 - TaskId::FIRST.0) as usize]
     }
@@ -577,6 +645,7 @@ impl PagodaRuntime {
     /// Bulk D2H copy-back of the whole TaskTable; merges freed entries
     /// into the CPU view.
     fn copyback_all(&mut self) {
+        self.obs.count(Counter::TaskTableCopybacks, 1);
         let bytes = u64::from(self.cfg.total_entries()) * self.cfg.entry_bytes;
         let tr = self
             .bus
@@ -591,6 +660,7 @@ impl PagodaRuntime {
 
     /// Copy-back of a single entry (the `wait` timeout path).
     fn copyback_entry(&mut self, e: EntryIndex) {
+        self.obs.count(Counter::TaskTablePolls, 1);
         let tr = self.bus.transfer(
             self.host_now,
             self.d2h,
@@ -629,6 +699,7 @@ impl PagodaRuntime {
             return;
         };
         let e = self.tasks[(lt.0 - TaskId::FIRST.0) as usize].entry;
+        self.obs.count(Counter::TaskTablePolls, 1);
         let tr = self.bus.transfer(
             self.host_now,
             self.d2h,
@@ -708,6 +779,8 @@ impl PagodaRuntime {
         self.spawn_inflight[ei] = false;
         let now = self.device.now();
         self.rec(task).entry_visible = Some(now);
+        self.obs.task(now.as_ps(), task.0, TaskState::Enqueued);
+        self.sample_mtb(now, e.col as usize);
         self.poke(e.col as usize);
     }
 
@@ -746,6 +819,7 @@ impl PagodaRuntime {
         let Some((action, cycles)) = self.decide(mi) else {
             return;
         };
+        self.obs.count(Counter::SchedulerDecisions, 1);
         let m = &mut self.mtbs[mi];
         m.busy = true;
         m.action = Some(action);
@@ -833,6 +907,7 @@ impl PagodaRuntime {
         }
         self.gpu_table.chain_mark_schedulable(pe);
         self.gpu_table.chain_settle(cur);
+        self.obs.count(Counter::ChainUpdates, 1);
         let now = self.device.now();
         self.rec(prev).schedulable = Some(now);
         self.poke(pe.col as usize);
@@ -849,6 +924,8 @@ impl PagodaRuntime {
         assert!(st.sched, "StartEntry on entry without sched flag");
         self.gpu_table.clear_sched(entry);
         let task = self.occupant[self.eidx(entry)].expect("sched flag on unoccupied entry");
+        self.obs
+            .task(self.device.now().as_ps(), task.0, TaskState::Placed);
         let desc = &self.tasks[(task.0 - TaskId::FIRST.0) as usize].desc;
         let per_tb = desc.per_tb_scheduling();
         let phase = initial_phase(desc.sync, desc.smem_per_tb);
@@ -872,6 +949,7 @@ impl PagodaRuntime {
     }
 
     fn apply_job_step(&mut self, time: SimTime, mi: usize) {
+        self.obs.count(Counter::PlacementSteps, 1);
         let mut job = self.mtbs[mi].job.take().expect("JobStep without job");
         let tix = (job.task.0 - TaskId::FIRST.0) as usize;
         let (sync, smem, warps_per_tb, num_tbs) = {
@@ -950,6 +1028,7 @@ impl PagodaRuntime {
                         job.next_tb += 1;
                         if job.next_tb == num_tbs {
                             self.mtbs[mi].job = None;
+                            self.sample_mtb(time, mi);
                             return;
                         }
                         job.placed_in_unit = 0;
@@ -958,12 +1037,14 @@ impl PagodaRuntime {
                         job.phase = initial_phase(sync, smem);
                     } else {
                         self.mtbs[mi].job = None;
+                        self.sample_mtb(time, mi);
                         return;
                     }
                 }
             }
         }
         self.mtbs[mi].job = Some(job);
+        self.sample_mtb(time, mi);
     }
 
     /// Dispatches one executor warp: builds its work (task kernel segments
@@ -982,7 +1063,10 @@ impl PagodaRuntime {
         let mut work = self.tasks[tix].desc.blocks[tb as usize].warps()[w as usize].clone();
         work.segments
             .push(Segment::Compute(self.cfg.exec_epilogue_cycles * 32));
-        self.tasks[tix].first_start.get_or_insert(time);
+        if self.tasks[tix].first_start.is_none() {
+            self.tasks[tix].first_start = Some(time);
+            self.obs.task(time.as_ps(), task.0, TaskState::Running);
+        }
         let warp = self.mtbs[mi].exec_warps[slot];
         self.device
             .assign_warp(warp, work, TAG_EXEC | (mi as u64 * 64 + slot as u64));
@@ -1018,6 +1102,8 @@ impl PagodaRuntime {
             // Lines 41-42: free the TaskTable entry.
             self.gpu_table.complete(s.e_num);
             self.occupant[ei] = None;
+            self.obs.count(Counter::TasksFreed, 1);
+            self.obs.task(time.as_ps(), task.0, TaskState::Freed);
             let r = &mut self.tasks[tix];
             r.gpu_done = Some(time);
             if out_bytes > 0 {
@@ -1031,7 +1117,30 @@ impl PagodaRuntime {
         }
         // A slot freed, shared memory possibly marked, a barrier possibly
         // recycled: all reasons the scheduler warp may now make progress.
+        self.sample_mtb(time, mi);
         self.poke(mi);
+    }
+
+    /// Emits one [`MtbSample`] for MTB `mi` if a recorder is attached;
+    /// called at the state-change events that move its occupancy (entry
+    /// arrivals, placement steps, executor completions).
+    fn sample_mtb(&self, at: SimTime, mi: usize) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let m = &self.mtbs[mi];
+        let used = self
+            .gpu_table
+            .column(mi as u32)
+            .filter(|(_, st)| st.ready != Ready::Free)
+            .count() as u32;
+        self.obs.mtb(MtbSample {
+            at_ps: at.as_ps(),
+            mtb: mi as u32,
+            free_warp_slots: m.warp_table.free_count() as u32,
+            free_smem: u64::from(m.buddy.pool_bytes() - m.buddy.allocated_bytes()),
+            used_entries: used,
+        });
     }
 }
 
@@ -1055,23 +1164,24 @@ mod tests {
     }
 
     #[test]
-    fn try_spawn_fills_table_then_reports_full() {
+    fn submit_fills_table_then_reports_full() {
         let mut rt = PagodaRuntime::titan_x();
         let total = rt.config().total_entries();
-        assert_eq!(rt.spawn_capacity(), total);
+        assert_eq!(rt.capacity().known_free, total);
+        assert_eq!(rt.capacity().total, total);
 
         let mut ids = Vec::new();
         for i in 0..total {
-            assert_eq!(rt.spawn_capacity(), total - i);
-            ids.push(rt.try_spawn(tiny_task()).expect("free entry available"));
+            assert_eq!(rt.capacity().known_free, total - i);
+            ids.push(rt.submit(tiny_task()).expect("free entry available"));
         }
-        assert_eq!(rt.spawn_capacity(), 0);
+        assert!(!rt.capacity().has_room());
 
         // Table full in the CPU view: the probe declines without blocking
         // and without consuming simulated time, handing the desc back.
         let before = rt.host_now();
-        match rt.try_spawn(tiny_task()) {
-            Err(TrySpawnError::Full(desc)) => assert_eq!(desc.threads_per_tb, 32),
+        match rt.submit(tiny_task()) {
+            Err(SubmitError::Full(desc)) => assert_eq!(desc.threads_per_tb, 32),
             other => panic!("expected Full, got {other:?}"),
         }
         assert_eq!(rt.host_now(), before);
@@ -1081,52 +1191,113 @@ mod tests {
         let mut iterations = 0;
         loop {
             rt.sync_table();
-            if rt.spawn_capacity() > 0 {
+            if rt.capacity().has_room() {
                 break;
             }
             rt.advance_to(rt.host_now() + rt.config().wait_timeout);
             iterations += 1;
             assert!(iterations < 100_000, "table never drained");
         }
-        rt.try_spawn(tiny_task()).expect("capacity after sync");
+        rt.submit(tiny_task()).expect("capacity after sync");
         rt.wait_all();
         assert_eq!(rt.report().tasks, u64::from(total) + 1);
     }
 
     #[test]
-    fn try_spawn_rejects_invalid_desc() {
+    fn submit_rejects_invalid_desc() {
         let mut rt = PagodaRuntime::titan_x();
         let mut bad = tiny_task();
         bad.num_tbs = 3; // blocks.len() still 1
-        match rt.try_spawn(bad) {
-            Err(TrySpawnError::Invalid(TaskError::ShapeMismatch)) => {}
+        match rt.submit(bad) {
+            Err(SubmitError::Invalid(TaskError::ShapeMismatch)) => {}
             other => panic!("expected Invalid(ShapeMismatch), got {other:?}"),
         }
     }
 
     #[test]
-    fn try_spawn_matches_task_spawn_timeline() {
-        // The non-blocking path must produce the same simulation as the
-        // blocking path while the table has room.
+    #[allow(deprecated)]
+    fn deprecated_shims_match_submit_timeline() {
+        // The deprecated entry points must produce the same simulation as
+        // `submit` while the table has room.
         let mut a = PagodaRuntime::titan_x();
         let mut b = PagodaRuntime::titan_x();
+        let mut c = PagodaRuntime::titan_x();
         for _ in 0..64 {
             a.task_spawn(tiny_task()).unwrap();
-            b.try_spawn(tiny_task()).unwrap();
+            b.submit(tiny_task()).unwrap();
+            c.try_spawn(tiny_task()).unwrap();
         }
+        assert_eq!(a.spawn_capacity(), a.capacity().known_free);
         a.wait_all();
         b.wait_all();
-        let (ra, rb) = (a.report(), b.report());
+        c.wait_all();
+        let (ra, rb, rc) = (a.report(), b.report(), c.report());
         assert_eq!(ra.makespan, rb.makespan);
         assert_eq!(ra.tasks, rb.tasks);
+        assert_eq!(rb.makespan, rc.makespan);
     }
 
     #[test]
     fn observed_done_tracks_copybacks_only() {
         let mut rt = PagodaRuntime::titan_x();
-        let t = rt.task_spawn(tiny_task()).unwrap();
-        assert!(!rt.observed_done(t));
-        rt.wait(t);
-        assert!(rt.observed_done(t));
+        let t = rt.submit(tiny_task()).unwrap();
+        assert!(!rt.observed_done(t).unwrap());
+        rt.wait(t).unwrap();
+        assert!(rt.observed_done(t).unwrap());
+    }
+
+    #[test]
+    fn unknown_task_ids_error_instead_of_panicking() {
+        let mut rt = PagodaRuntime::titan_x();
+        let bogus = TaskId(TaskId::FIRST.0 + 7);
+        match rt.wait(bogus) {
+            Err(PagodaError::UnknownTask { task, spawned }) => {
+                assert_eq!(task, bogus);
+                assert_eq!(spawned, 0);
+            }
+            other => panic!("expected UnknownTask, got {other:?}"),
+        }
+        assert!(rt.check(bogus).is_err());
+        assert!(rt.observed_done(bogus).is_err());
+        assert!(rt.trace(bogus).is_err());
+        assert_eq!(rt.task_latency(bogus), None);
+        // Pre-FIRST ids (checked_sub underflow) must also be rejected.
+        assert!(rt.trace(TaskId(0)).is_err());
+    }
+
+    #[test]
+    fn obs_records_full_lifecycle_and_counters() {
+        let mut rt = PagodaRuntime::titan_x();
+        let (obs, rec) = Obs::recording();
+        rt.attach_obs(obs);
+        let t = rt.submit(tiny_task()).unwrap();
+        rt.wait(t).unwrap();
+        let buf = rec.snapshot();
+
+        let tl = buf.task_timeline(t.0);
+        let mut prev = 0u64;
+        for (i, at) in tl.iter().enumerate() {
+            let at = at.unwrap_or_else(|| panic!("missing lifecycle state #{i}"));
+            assert!(at >= prev, "lifecycle timestamps out of order");
+            prev = at;
+        }
+        assert_eq!(buf.counter(Counter::TasksSpawned), 1);
+        assert_eq!(buf.counter(Counter::TasksFreed), 1);
+        assert!(buf.counter(Counter::SchedulerDecisions) > 0);
+        assert!(buf.counter(Counter::PcieH2dTransactions) > 0);
+        assert!(buf.counter(Counter::TaskTablePolls) > 0);
+        assert!(buf.counter(Counter::EngineEvents) > 0);
+        assert!(!buf.mtb.is_empty(), "expected MTB occupancy samples");
+        assert!(!buf.smm.is_empty(), "expected SMM residency samples");
+        // The spawned task's lifecycle maps onto the recorded trace.
+        let tr = rt.trace(t).unwrap();
+        assert_eq!(tl[0], Some(tr.spawned.as_ps()));
+        assert_eq!(tl[3], tr.first_exec.map(|x| x.as_ps()));
+        assert_eq!(tl[4], tr.gpu_done.map(|x| x.as_ps()));
+
+        // Detaching stops recording.
+        rt.attach_obs(Obs::off());
+        rt.submit(tiny_task()).unwrap();
+        assert_eq!(rec.snapshot().counter(Counter::TasksSpawned), 1);
     }
 }

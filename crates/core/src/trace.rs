@@ -12,6 +12,12 @@
 //! [`TaskTrace::phases`] turns a trace into named spans, and
 //! [`write_chrome_trace`] emits the whole run in the Chrome tracing
 //! format (`chrome://tracing` / Perfetto), one row per TaskTable column.
+//!
+//! For richer exports — per-SMM resource tracks, per-tenant task tracks,
+//! counters — attach a `pagoda_obs::MemRecorder` via
+//! [`crate::PagodaRuntime::attach_obs`] and use
+//! `pagoda_obs::export::write_chrome_trace` on its buffer; this module's
+//! exporter remains for trace-only runs without a recorder.
 
 use std::io::{self, Write};
 

@@ -101,7 +101,6 @@ pub struct EngineStats {
 /// assert_eq!((t2, e2), (SimTime::from_ns(5), Ev::Pong));
 /// assert!(eng.pop().is_none());
 /// ```
-#[derive(Debug)]
 pub struct Engine<E> {
     now: SimTime,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
@@ -111,6 +110,20 @@ pub struct Engine<E> {
     /// makes [`Engine::cancel`]'s return value exact.
     pending: HashSet<u64>,
     stats: EngineStats,
+    /// Observability tap: called once per delivered event with its
+    /// timestamp. `None` (the default) costs one discriminant test.
+    pop_hook: Option<Box<dyn FnMut(SimTime) + Send>>,
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("queue_len", &self.heap.len())
+            .field("stats", &self.stats)
+            .field("pop_hook", &self.pop_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<E> Default for Engine<E> {
@@ -129,7 +142,21 @@ impl<E> Engine<E> {
             cancelled: HashSet::new(),
             pending: HashSet::new(),
             stats: EngineStats::default(),
+            pop_hook: None,
         }
+    }
+
+    /// Installs (or replaces) the event-pop observability hook. The hook
+    /// fires once per delivered event, after the clock advances — the
+    /// tap observability layers use to count engine events without the
+    /// engine depending on them.
+    pub fn set_pop_hook(&mut self, hook: Box<dyn FnMut(SimTime) + Send>) {
+        self.pop_hook = Some(hook);
+    }
+
+    /// Removes the event-pop hook, restoring the zero-cost path.
+    pub fn clear_pop_hook(&mut self) {
+        self.pop_hook = None;
     }
 
     /// Current virtual time. Advances only inside [`Engine::pop`].
@@ -192,6 +219,9 @@ impl<E> Engine<E> {
             self.pending.remove(&s.seq);
             self.now = s.at;
             self.stats.delivered += 1;
+            if let Some(hook) = &mut self.pop_hook {
+                hook(s.at);
+            }
             return Some((s.at, s.event));
         }
         None
@@ -346,6 +376,36 @@ mod tests {
         let mut e = Engine::new();
         e.schedule(SimTime::from_ns(5), Ev::A);
         e.advance_to(SimTime::from_ns(6));
+    }
+
+    #[test]
+    fn pop_hook_fires_per_delivered_event() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(1), Ev::A);
+        e.schedule(SimTime::from_ns(2), Ev::B);
+        e.schedule(SimTime::from_ns(3), Ev::C);
+        e.cancel(k);
+        let h = hits.clone();
+        e.set_pop_hook(Box::new(move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        while e.pop().is_some() {}
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            2,
+            "cancelled event not counted"
+        );
+        e.clear_pop_hook();
+        e.schedule(SimTime::from_ns(9), Ev::A);
+        e.pop();
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            2,
+            "cleared hook must not fire"
+        );
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! Two presets are provided, matching the machines the paper validated its
 //! TaskTable visibility assumptions on: [`GpuSpec::titan_x`] (the evaluation
 //! platform) and [`GpuSpec::tesla_k40`].
+//!
+//! The resource pools tracked here (warps, registers, shared memory,
+//! threadblock slots per SMM) are exactly the quantities the device
+//! simulator reports in `pagoda_obs::SmmSample` timelines, so an
+//! exported trace can be read against the occupancy calculator's
+//! limits.
 
 mod occupancy;
 mod spec;

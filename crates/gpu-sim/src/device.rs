@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 
 use desim::{Dur, Engine, EventKey, SimTime};
 use gpu_arch::{GpuSpec, LaunchError, TaskShape};
+use pagoda_obs::{Counter, Obs, SmmSample};
 
 use crate::exec::{ExecState, GroupId, WarpHandle};
 use crate::work::{KernelDesc, WarpWork};
@@ -190,6 +191,7 @@ pub struct GpuDevice {
     kernels_launched: u64,
     tbs_placed: u64,
     drain_pending: bool,
+    obs: Obs,
 }
 
 impl GpuDevice {
@@ -222,7 +224,22 @@ impl GpuDevice {
             kernels_launched: 0,
             tbs_placed: 0,
             drain_pending: false,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle. The event engine's pop hook
+    /// counts delivered events; launch/placement/retire/assignment paths
+    /// emit per-SMM resource samples at each residency change.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        if obs.enabled() {
+            let tap = obs.clone();
+            self.engine
+                .set_pop_hook(Box::new(move |_| tap.count(Counter::EngineEvents, 1)));
+        } else {
+            self.engine.clear_pop_hook();
+        }
+        self.obs = obs;
     }
 
     /// A Titan X with default front-end parameters.
@@ -260,6 +277,7 @@ impl GpuDevice {
             done: false,
         });
         self.kernels_launched += 1;
+        self.obs.count(Counter::KernelLaunches, 1);
         let issue_at = self.now().max(self.next_launch_free) + self.cfg.launch_issue_cost;
         self.next_launch_free = issue_at;
         self.engine.schedule(issue_at, Ev::LaunchIssued { kid });
@@ -304,6 +322,7 @@ impl GpuDevice {
                 .map(|_| self.exec.create_warp(sm))
                 .collect::<Vec<_>>();
             self.add_resident(now, shape.warps_per_tb() as i64);
+            self.sample_sm(now, sm);
             out.push(PersistentTb { sm, warps });
         }
         Ok(out)
@@ -323,6 +342,7 @@ impl GpuDevice {
         self.exec.assign(now, w, work, tag);
         self.reschedule_sm(sm, now);
         self.request_drain();
+        self.sample_sm(now, sm);
     }
 
     /// Creates a barrier group over persistent warps (a Pagoda task
@@ -453,9 +473,33 @@ impl GpuDevice {
         s.resident_warp_ps / (self.cfg.spec.max_resident_warps() as f64 * now as f64)
     }
 
+    /// Event-engine counters (scheduled/delivered/cancelled), the
+    /// denominator for the `obs_overhead` bench's events/sec.
+    pub fn engine_stats(&self) -> desim::EngineStats {
+        self.engine.stats()
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
+
+    /// Emits a per-SMM resource sample if a recorder is attached. Called
+    /// at residency state changes only, never on a timer.
+    fn sample_sm(&self, now: SimTime, sm: u32) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let r = &self.sm_res[sm as usize];
+        self.obs.smm(SmmSample {
+            at_ps: now.as_ps(),
+            sm,
+            resident_warps: self.cfg.spec.max_warps_per_sm - r.warps,
+            running_warps: self.exec.sm_running(sm),
+            free_regs: u64::from(r.regs),
+            free_smem: u64::from(r.smem),
+            free_tb_slots: r.tbs,
+        });
+    }
 
     fn footprint(&self, shape: &TaskShape) -> Footprint {
         Footprint {
@@ -605,6 +649,7 @@ impl GpuDevice {
             self.exec
                 .assign(now, *w, work, NATIVE_BIT | u64::from(tb_id));
         }
+        self.sample_sm(now, sm);
     }
 
     fn one_finished(
@@ -616,6 +661,7 @@ impl GpuDevice {
         dirty: &mut [bool],
     ) {
         if tag & NATIVE_BIT == 0 {
+            self.sample_sm(now, self.exec.warp_sm(warp));
             out.push(Notify::WarpDone { warp, tag });
             return;
         }
@@ -644,6 +690,7 @@ impl GpuDevice {
             self.sm_res[tb_sm].regs += regs;
             self.add_resident(now, -1);
             dirty[tb_sm] = true;
+            self.sample_sm(now, tb_sm as u32);
         }
         if done == total {
             self.retire_tb(now, tb_id, out, dirty);
@@ -672,6 +719,7 @@ impl GpuDevice {
             self.exec.retire_warp(w);
         }
         dirty[sm as usize] = true;
+        self.sample_sm(now, sm);
         let k = &mut self.kernels[kid as usize];
         k.retired_tbs += 1;
         if k.retired_tbs as usize == k.desc.blocks.len() && !k.done {
@@ -948,6 +996,27 @@ mod tests {
         // Rebuild with the bad smem but valid work shape:
         let k = KernelDesc { shape: bad, ..k };
         assert!(dev.launch_kernel(k).is_err());
+    }
+
+    #[test]
+    fn obs_samples_residency_changes() {
+        let mut dev = GpuDevice::new(quiet_cfg());
+        let (obs, rec) = Obs::recording();
+        dev.attach_obs(obs);
+        let k = KernelDesc::uniform(shape(256, 2), WarpWork::compute(32_000, 4.0), 9);
+        dev.launch_kernel(k).unwrap();
+        run_all(&mut dev);
+        let buf = rec.snapshot();
+        assert_eq!(buf.counter(Counter::KernelLaunches), 1);
+        assert!(buf.counter(Counter::EngineEvents) > 0);
+        // One sample per TB place + one per TB retire.
+        assert_eq!(buf.smm.len(), 4);
+        let placed = &buf.smm[0];
+        assert_eq!(placed.resident_warps, 8, "256 threads = 8 warps");
+        assert_eq!(placed.free_tb_slots, dev.spec().max_tbs_per_sm - 1);
+        let retired = buf.smm.last().unwrap();
+        assert_eq!(retired.resident_warps, 0);
+        assert_eq!(retired.running_warps, 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use pagoda_obs::{Counter, Obs};
 use parking_lot::{Condvar, Mutex};
 
 use slots::{Job, SlotTable};
@@ -62,6 +63,7 @@ impl TaskHandle {
 
 struct Shared {
     table: SlotTable,
+    obs: Obs,
     spawned: AtomicU64,
     completed: AtomicU64,
     panicked: AtomicU64,
@@ -86,10 +88,21 @@ impl HostPagoda {
     /// # Panics
     /// Panics if either parameter is zero.
     pub fn new(workers: usize, rows: usize) -> Self {
+        Self::with_obs(workers, rows, Obs::off())
+    }
+
+    /// [`HostPagoda::new`] with an observability sink: spawn/completion
+    /// counters flow to the same recorder as the simulated runtimes',
+    /// so native and simulated executions are comparable side by side.
+    ///
+    /// # Panics
+    /// Panics if either size parameter is zero.
+    pub fn with_obs(workers: usize, rows: usize, obs: Obs) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(rows > 0, "need at least one slot per column");
         let shared = Arc::new(Shared {
             table: SlotTable::new(workers, rows),
+            obs,
             spawned: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
@@ -131,6 +144,7 @@ impl HostPagoda {
             flag.store(true, Ordering::Release);
         });
         self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+        self.shared.obs.count(Counter::TasksSpawned, 1);
         let mut job = boxed;
         loop {
             match self.shared.table.try_publish(job) {
@@ -205,6 +219,7 @@ fn worker_loop(own_col: usize, shared: &Shared) {
                 shared.panicked.fetch_add(1, Ordering::Relaxed);
             }
             shared.completed.fetch_add(1, Ordering::Release);
+            shared.obs.count(Counter::TasksFreed, 1);
             shared.done_cv.notify_all();
             continue;
         }
@@ -245,6 +260,20 @@ mod tests {
         rt.wait_all();
         assert_eq!(count.load(Ordering::Relaxed), 10_000);
         assert_eq!(rt.panicked_tasks(), 0);
+    }
+
+    #[test]
+    fn obs_counters_match_native_counters() {
+        let (obs, rec) = Obs::recording();
+        let rt = HostPagoda::with_obs(4, 8, obs);
+        for _ in 0..500 {
+            rt.spawn(|| {});
+        }
+        rt.wait_all();
+        let buf = rec.snapshot();
+        assert_eq!(buf.counter(Counter::TasksSpawned), 500);
+        assert_eq!(buf.counter(Counter::TasksFreed), rt.completed_tasks());
+        assert_eq!(rt.completed_tasks(), 500);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The event taxonomy: everything a [`Recorder`](crate::Recorder) can
+//! receive. Three shapes, matched to how the paper argues its claims:
+//!
+//! * [`TaskEvent`] — one per task *state change*, following the paper's
+//!   lifecycle (spawned → enqueued → placed → running → freed). Latency
+//!   figures (Figs. 5-7, 10) are differences between these instants.
+//! * [`SmmSample`] / [`MtbSample`] — resource snapshots taken at
+//!   state-change events only (never on a timer): resident warps, free
+//!   registers/shared memory, TB slots. These make the Fig. 8
+//!   warp-vs-TB-granularity crossover visible as a timeline.
+//! * [`Counter`] — monotonic tallies (PCIe transactions, TaskTable polls,
+//!   admission decisions, scheduler actions, engine events).
+//!
+//! Timestamps are raw picoseconds (`at_ps`) rather than `desim::SimTime`
+//! so the event structs serialize with the vendored serde derive and the
+//! crate stays dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+/// Task lifecycle states, in order. Mirrors the TaskTable protocol: the
+/// host spawns an entry, the entry becomes visible on the device
+/// (enqueued), a scheduler warp places it, executor warps run it, and the
+/// entry is freed at warp granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Host-side `submit` accepted the descriptor and issued the entry copy.
+    Spawned,
+    /// The entry became visible to the device-side TaskTable column.
+    Enqueued,
+    /// A scheduler warp finished placement (resources reserved).
+    Placed,
+    /// The first executor warp started running task work.
+    Running,
+    /// The entry was freed (task complete, resources recycled).
+    Freed,
+}
+
+impl TaskState {
+    /// All states, lifecycle order.
+    pub const ALL: [TaskState; 5] = [
+        TaskState::Spawned,
+        TaskState::Enqueued,
+        TaskState::Placed,
+        TaskState::Running,
+        TaskState::Freed,
+    ];
+
+    /// Stable lowercase name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskState::Spawned => "spawned",
+            TaskState::Enqueued => "enqueued",
+            TaskState::Placed => "placed",
+            TaskState::Running => "running",
+            TaskState::Freed => "freed",
+        }
+    }
+}
+
+/// One task lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskEvent {
+    /// Simulation instant, picoseconds.
+    pub at_ps: u64,
+    /// Runtime-assigned task id.
+    pub task: u64,
+    /// The state entered at `at_ps`.
+    pub state: TaskState,
+}
+
+/// Associates a task with a tenant (serving layer); exporters group task
+/// spans into one track per tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantTag {
+    /// Runtime-assigned task id.
+    pub task: u64,
+    /// Tenant index within the serving configuration.
+    pub tenant: u32,
+}
+
+/// Per-SMM resource snapshot, taken when the SMM's residency changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmmSample {
+    /// Simulation instant, picoseconds.
+    pub at_ps: u64,
+    /// SMM index.
+    pub sm: u32,
+    /// Warps currently resident (native kernels + MasterKernel warps).
+    pub resident_warps: u32,
+    /// Warps currently executing work (for a Pagoda run, residency is
+    /// flat at 100 % — this is where per-SMM activity shows).
+    pub running_warps: u32,
+    /// Register-file registers not reserved by resident work.
+    pub free_regs: u64,
+    /// Shared-memory bytes not reserved by resident work.
+    pub free_smem: u64,
+    /// Threadblock slots not occupied.
+    pub free_tb_slots: u32,
+}
+
+/// Per-MTB (MasterKernel threadblock) snapshot, taken when a scheduler
+/// warp changes its column's occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtbSample {
+    /// Simulation instant, picoseconds.
+    pub at_ps: u64,
+    /// MTB index (two per SMM).
+    pub mtb: u32,
+    /// Executor-warp slots free in the WarpTable (of 31).
+    pub free_warp_slots: u32,
+    /// Bytes free in the MTB's buddy shared-memory pool.
+    pub free_smem: u64,
+    /// TaskTable entries of this MTB's column not in `Free` state.
+    pub used_entries: u32,
+}
+
+/// Monotonic counters. Each increments by an arbitrary delta; recorders
+/// accumulate totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Counter {
+    /// Host→device DMA transactions issued.
+    PcieH2dTransactions,
+    /// Device→host DMA transactions issued.
+    PcieD2hTransactions,
+    /// Host→device payload bytes.
+    PcieH2dBytes,
+    /// Device→host payload bytes.
+    PcieD2hBytes,
+    /// Host-side polls of individual TaskTable entries.
+    TaskTablePolls,
+    /// Bulk TaskTable copy-backs (lazy aggregate, §4.2.2).
+    TaskTableCopybacks,
+    /// Serving-layer admissions.
+    AdmissionAdmitted,
+    /// Serving-layer sheds (queue full).
+    AdmissionShed,
+    /// Scheduler-warp actions begun (chain update / placement / step).
+    SchedulerDecisions,
+    /// Ready-chain updates applied (Algorithm 1, lines 5-13).
+    ChainUpdates,
+    /// Placement pipeline steps (barrier / smem / warp placement).
+    PlacementSteps,
+    /// Events popped from a `desim` engine.
+    EngineEvents,
+    /// Tasks accepted by `submit`/spawn.
+    TasksSpawned,
+    /// Tasks whose TaskTable entry was freed.
+    TasksFreed,
+    /// Native kernel launches (baselines).
+    KernelLaunches,
+}
+
+impl Counter {
+    /// All counters, declaration order. `Counter as usize` indexes this.
+    pub const ALL: [Counter; 15] = [
+        Counter::PcieH2dTransactions,
+        Counter::PcieD2hTransactions,
+        Counter::PcieH2dBytes,
+        Counter::PcieD2hBytes,
+        Counter::TaskTablePolls,
+        Counter::TaskTableCopybacks,
+        Counter::AdmissionAdmitted,
+        Counter::AdmissionShed,
+        Counter::SchedulerDecisions,
+        Counter::ChainUpdates,
+        Counter::PlacementSteps,
+        Counter::EngineEvents,
+        Counter::TasksSpawned,
+        Counter::TasksFreed,
+        Counter::KernelLaunches,
+    ];
+
+    /// Stable snake_case name (used as JSON/CSV keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PcieH2dTransactions => "pcie_h2d_transactions",
+            Counter::PcieD2hTransactions => "pcie_d2h_transactions",
+            Counter::PcieH2dBytes => "pcie_h2d_bytes",
+            Counter::PcieD2hBytes => "pcie_d2h_bytes",
+            Counter::TaskTablePolls => "tasktable_polls",
+            Counter::TaskTableCopybacks => "tasktable_copybacks",
+            Counter::AdmissionAdmitted => "admission_admitted",
+            Counter::AdmissionShed => "admission_shed",
+            Counter::SchedulerDecisions => "scheduler_decisions",
+            Counter::ChainUpdates => "chain_updates",
+            Counter::PlacementSteps => "placement_steps",
+            Counter::EngineEvents => "engine_events",
+            Counter::TasksSpawned => "tasks_spawned",
+            Counter::TasksFreed => "tasks_freed",
+            Counter::KernelLaunches => "kernel_launches",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_all_matches_discriminants() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{c:?} out of order in ALL");
+        }
+    }
+
+    #[test]
+    fn task_states_are_ordered() {
+        let mut prev = None;
+        for s in TaskState::ALL {
+            if let Some(p) = prev {
+                assert!(p < s);
+            }
+            prev = Some(s);
+        }
+    }
+
+    #[test]
+    fn events_serialize() {
+        let ev = TaskEvent {
+            at_ps: 1,
+            task: 2,
+            state: TaskState::Placed,
+        };
+        assert_eq!(
+            serde_json::to_string(&ev).unwrap(),
+            r#"{"at_ps":1,"task":2,"state":"Placed"}"#
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! **pagoda-obs** — cross-layer observability for the Pagoda workspace.
+//!
+//! Pagoda's claims are timeline claims: warp-granularity freeing,
+//! TaskTable occupancy, spawn-to-start latency. This crate is the one
+//! place those timelines are captured. Every instrumented crate
+//! (`desim`, `pcie`, `gpu-sim`, `pagoda-core`, `baselines`,
+//! `pagoda-serve`) holds a cloned [`Obs`] handle and reports:
+//!
+//! * **task lifecycle spans** — [`TaskState`]: spawned → enqueued →
+//!   placed → running → freed;
+//! * **resource timelines** — [`SmmSample`] per SMM and [`MtbSample`] per
+//!   MasterKernel threadblock, sampled at state-change events only;
+//! * **counters** — [`Counter`]: PCIe transactions, TaskTable polls,
+//!   admission admit/shed, scheduler decisions, engine events.
+//!
+//! Design rule: *zero dependency on the hot path*. A disabled handle
+//! ([`Obs::off`]) costs one `Option` discriminant test per site; the
+//! `obs_overhead` bench in `crates/bench` gates this at ≤ 5 % of sim
+//! throughput. Recording goes through the [`Recorder`] trait —
+//! [`NullRecorder`] to measure dispatch cost, [`MemRecorder`] to buffer
+//! for the exporters in [`export`] (chrome://tracing with one track per
+//! SMM and per tenant, CSV timelines, JSON summary).
+//!
+//! # Example
+//!
+//! ```
+//! use pagoda_obs::{Obs, TaskState, export};
+//!
+//! let (obs, rec) = Obs::recording();
+//! obs.task(0, 7, TaskState::Spawned);
+//! obs.task(1_000, 7, TaskState::Running);
+//! obs.task(5_000, 7, TaskState::Freed);
+//!
+//! let buf = rec.snapshot();
+//! let mut trace = Vec::new();
+//! export::write_chrome_trace(&buf, &mut trace).unwrap();
+//! export::check_json(std::str::from_utf8(&trace).unwrap()).unwrap();
+//! ```
+
+pub mod events;
+pub mod export;
+pub mod recorder;
+
+pub use events::{Counter, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
+pub use export::{summarize, write_chrome_trace, ObsSummary};
+pub use recorder::{MemRecorder, NullRecorder, Obs, ObsBuffer, Recorder};

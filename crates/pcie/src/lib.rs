@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use desim::{Dur, SimTime};
+use pagoda_obs::{Counter, Obs};
 
 /// Transfer direction; selects the DMA copy engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +109,7 @@ pub struct PcieBus {
     stream_tail: HashMap<StreamId, SimTime>,
     next_stream: u32,
     stats: [ChannelStats; 2],
+    obs: Obs,
 }
 
 impl PcieBus {
@@ -119,7 +121,16 @@ impl PcieBus {
             stream_tail: HashMap::new(),
             next_stream: 0,
             stats: [ChannelStats::default(); 2],
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches an observability handle; every subsequent [`transfer`]
+    /// reports per-direction transaction and byte counters to it.
+    ///
+    /// [`transfer`]: PcieBus::transfer
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Creates a bus with [`PcieConfig::default`].
@@ -169,6 +180,16 @@ impl PcieBus {
         s.transactions += 1;
         s.bytes += bytes;
         s.busy += occupied;
+        match dir {
+            Direction::HostToDevice => {
+                self.obs.count(Counter::PcieH2dTransactions, 1);
+                self.obs.count(Counter::PcieH2dBytes, bytes);
+            }
+            Direction::DeviceToHost => {
+                self.obs.count(Counter::PcieD2hTransactions, 1);
+                self.obs.count(Counter::PcieD2hBytes, bytes);
+            }
+        }
         Transfer { start, complete }
     }
 
@@ -297,6 +318,22 @@ mod tests {
     fn foreign_stream_rejected() {
         let mut b = bus();
         b.transfer(SimTime::ZERO, StreamId(7), Direction::HostToDevice, 1);
+    }
+
+    #[test]
+    fn obs_counts_transactions_and_bytes() {
+        let mut b = bus();
+        let (obs, rec) = Obs::recording();
+        b.attach_obs(obs);
+        let s = b.create_stream();
+        b.transfer(SimTime::ZERO, s, Direction::HostToDevice, 100);
+        b.transfer(SimTime::ZERO, s, Direction::DeviceToHost, 7);
+        b.transfer(SimTime::ZERO, s, Direction::DeviceToHost, 0);
+        let buf = rec.snapshot();
+        assert_eq!(buf.counter(Counter::PcieH2dTransactions), 1);
+        assert_eq!(buf.counter(Counter::PcieH2dBytes), 100);
+        assert_eq!(buf.counter(Counter::PcieD2hTransactions), 2);
+        assert_eq!(buf.counter(Counter::PcieD2hBytes), 7);
     }
 
     #[test]

@@ -21,13 +21,16 @@
 //! * [`metrics`] — serde-serializable per-task records and per-tenant
 //!   p50/p95/p99 sojourn aggregates, integrated with
 //!   [`pagoda_core::trace`] timelines;
+//! * [`error`] — the typed [`ServeError`] returned by the entry points;
 //! * [`server`] — the deterministic discrete-event loop driving the
-//!   runtime through its non-blocking spawn probes
-//!   ([`pagoda_core::PagodaRuntime::try_spawn`] /
-//!   [`pagoda_core::PagodaRuntime::spawn_capacity`]).
+//!   runtime through its non-blocking spawn probe
+//!   ([`pagoda_core::PagodaRuntime::submit`] /
+//!   [`pagoda_core::PagodaRuntime::capacity`]).
 //!
 //! Same config + same seed ⇒ byte-identical records; the serving layer
-//! inherits the determinism of the simulation substrate.
+//! inherits the determinism of the simulation substrate. Set
+//! [`ServeConfig::obs`] to a `pagoda_obs` recorder to capture admission
+//! counters, tenant-tagged task spans, and device timelines for export.
 //!
 //! # Example
 //!
@@ -41,19 +44,23 @@
 //!
 //! let mut cfg = ServeConfig::new(vec![video, crypto], Policy::WeightedFair);
 //! cfg.tasks_per_tenant = 64; // keep the doctest quick
-//! let out = serve(&cfg);
+//! let out = serve(&cfg).unwrap();
 //! let total: u64 = out.report.tenants.iter().map(|t| t.offered).sum();
 //! assert_eq!(total, 128);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod admission;
 pub mod arrival;
+pub mod error;
 pub mod metrics;
 pub mod qos;
 pub mod server;
 
 pub use admission::Admission;
 pub use arrival::{ArrivalGen, ArrivalSpec};
+pub use error::ServeError;
 pub use metrics::{percentile, Outcome, ServeReport, TaskRecord, TenantReport};
 pub use qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
 pub use server::{

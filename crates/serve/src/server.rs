@@ -9,7 +9,7 @@
 //!    and the bounded queue sheds what does not fit;
 //! 2. **dispatches** queued tasks through the configured
 //!    [`QosScheduler`] into the TaskTable via the runtime's non-blocking
-//!    [`PagodaRuntime::try_spawn`], until the table is full or the queue
+//!    [`PagodaRuntime::submit`], until the table is full or the queue
 //!    is empty;
 //! 3. **retires** tasks whose completion the host has observed;
 //! 4. **advances time** — to the next arrival when idle, or through a
@@ -22,11 +22,13 @@
 
 use desim::Dur;
 use pagoda_core::trace::TaskTrace;
-use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc, TaskId, TrySpawnError};
+use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc, TaskId};
+use pagoda_obs::{Counter, Obs};
 use workloads::{Bench, GenOpts};
 
 use crate::admission::Admission;
 use crate::arrival::{ArrivalGen, ArrivalSpec};
+use crate::error::ServeError;
 use crate::metrics::{tenant_report, Outcome, ServeReport, TaskRecord};
 use crate::qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
 
@@ -126,6 +128,11 @@ pub struct ServeConfig {
     pub offered_load: f64,
     /// Runtime/device configuration.
     pub runtime: PagodaConfig,
+    /// Observability sink, forwarded to the runtime (and through it to
+    /// the device and bus). The serving loop adds admission counters and
+    /// tags every spawned task with its tenant so exporters can draw one
+    /// track per tenant. Defaults to [`Obs::off`].
+    pub obs: Obs,
 }
 
 impl ServeConfig {
@@ -140,6 +147,7 @@ impl ServeConfig {
             mix: String::new(),
             offered_load: 0.0,
             runtime: PagodaConfig::default(),
+            obs: Obs::off(),
         }
     }
 }
@@ -173,13 +181,20 @@ struct InFlight {
 /// Runs one serving experiment to completion (all arrivals resolved:
 /// completed, shed, or expired) and aggregates its metrics.
 ///
-/// # Panics
-/// Panics on an empty tenant list or a workload that produces an
-/// invalid [`TaskDesc`].
-pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
-    assert!(!cfg.tenants.is_empty(), "serve needs at least one tenant");
+/// # Errors
+/// [`ServeError::NoTenants`] on an empty tenant list,
+/// [`ServeError::InvalidRuntime`] if the embedded [`PagodaConfig`] fails
+/// validation, and [`ServeError::UnspawnableTask`] if a workload produces
+/// an invalid [`TaskDesc`].
+pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
+    if cfg.tenants.is_empty() {
+        return Err(ServeError::NoTenants);
+    }
+    cfg.runtime.validate()?;
     let nt = cfg.tenants.len();
     let mut rt = PagodaRuntime::new(cfg.runtime.clone());
+    rt.attach_obs(cfg.obs.clone());
+    let obs = cfg.obs.clone();
     let total_entries = f64::from(rt.config().total_entries());
     let wait_timeout = rt.config().wait_timeout;
 
@@ -221,6 +236,14 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
         while next_arr < all.len() && all[next_arr].at <= rt.host_now() {
             let a = &all[next_arr];
             let admitted = admission.offer(a.tenant);
+            obs.count(
+                if admitted {
+                    Counter::AdmissionAdmitted
+                } else {
+                    Counter::AdmissionShed
+                },
+                1,
+            );
             records.push(TaskRecord {
                 tenant: a.tenant as u32,
                 seq: next_arr as u64,
@@ -248,7 +271,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
         }
 
         // 2. Dispatch into the TaskTable while it has room.
-        while rt.spawn_capacity() > 0 {
+        while rt.capacity().has_room() {
             let Some(qt) = sched.pop() else { break };
             let QueuedTask {
                 tenant,
@@ -265,9 +288,10 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
                 r.deadline_missed = true;
                 continue;
             }
-            match rt.try_spawn(desc) {
+            match rt.submit(desc) {
                 Ok(id) => {
                     records[seq as usize].spawn_us = Some(rt.host_now().as_us_f64());
+                    obs.tenant(id.0, tenant as u32);
                     in_flight.push(InFlight {
                         id,
                         seq: seq as usize,
@@ -276,7 +300,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
                         deadline,
                     });
                 }
-                Err(TrySpawnError::Full(desc)) => {
+                Err(SubmitError::Full(desc)) => {
                     // Defensive: capacity raced away. Put the task back.
                     admission.requeue(tenant);
                     sched.push(QueuedTask {
@@ -288,23 +312,27 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
                     });
                     break;
                 }
-                Err(TrySpawnError::Invalid(e)) => {
-                    panic!("tenant workload produced an unspawnable task: {e}");
+                Err(SubmitError::Invalid(source)) => {
+                    return Err(ServeError::UnspawnableTask { tenant, source });
                 }
             }
         }
-        occ_sum += 1.0 - f64::from(rt.spawn_capacity()) / total_entries;
+        occ_sum += 1.0 - f64::from(rt.capacity().known_free) / total_entries;
         occ_rounds += 1;
 
         // 3. Retire completions the host has observed via copy-backs.
         in_flight.retain(|f| {
-            if !rt.observed_done(f.id) {
+            if !rt
+                .observed_done(f.id)
+                .expect("invariant: in-flight ids were issued by this runtime")
+            {
                 return true;
             }
             let done = rt
                 .trace(f.id)
+                .expect("invariant: in-flight ids were issued by this runtime")
                 .output_done
-                .expect("observed-done task lacks an output time");
+                .expect("invariant: observed-done task has an output time");
             let sojourn = (done - f.arrival).as_us_f64();
             let r = &mut records[f.seq];
             r.outcome = Outcome::Done;
@@ -329,7 +357,7 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
             // and, if still stuck, idle one timeout slice — the same
             // pacing the runtime's own blocking spawn uses.
             rt.sync_table();
-            let stuck_full = rt.spawn_capacity() == 0 && !sched.is_empty();
+            let stuck_full = !rt.capacity().has_room() && !sched.is_empty();
             let draining = sched.is_empty() && !arrivals_left && !in_flight.is_empty();
             if stuck_full || draining {
                 rt.advance_to(rt.host_now() + wait_timeout);
@@ -377,11 +405,11 @@ pub fn serve(cfg: &ServeConfig) -> ServeOutcome {
         avg_warp_occupancy: rt.report().avg_running_occupancy,
         tenants,
     };
-    ServeOutcome {
+    Ok(ServeOutcome {
         report,
         records,
         traces: rt.traces(),
-    }
+    })
 }
 
 /// SplitMix64 — decorrelates the per-tenant seeds derived from the
@@ -399,28 +427,33 @@ fn splitmix(mut z: u64) -> u64 {
 /// typically runs on such a partition, and the smaller table is what
 /// makes admission control bind at realistic experiment sizes (the full
 /// 48×32 table absorbs ~1.5 K tasks of backlog before any queue forms).
-pub fn serving_slice(num_sms: u32) -> PagodaConfig {
-    assert!(num_sms >= 1, "a slice needs at least one SMM");
+pub fn serving_slice(num_sms: u32) -> Result<PagodaConfig, ServeError> {
+    if num_sms == 0 {
+        return Err(ServeError::EmptySlice);
+    }
     let mut cfg = PagodaConfig::default();
     cfg.device.spec.num_sms = num_sms;
-    cfg
+    Ok(cfg)
 }
 
 /// Measures a runtime's saturated service capacity for `bench` tasks
 /// (tasks/second) — the natural normalizer when sweeping offered load.
 ///
-/// Uses the serving loop itself rather than the blocking
-/// [`PagodaRuntime::task_spawn`]: every probe arrival lands at ≈ t = 0
-/// in an unbounded queue, so the dispatcher keeps the TaskTable as full
-/// as the loop ever can and the measured throughput is the rate the
-/// serving system genuinely sustains (the blocking spawn path idles in
-/// whole `wait_timeout` slices and would understate it). Deterministic.
+/// Uses the serving loop itself rather than the runtime's blocking spawn
+/// path: every probe arrival lands at ≈ t = 0 in an unbounded queue, so
+/// the dispatcher keeps the TaskTable as full as the loop ever can and
+/// the measured throughput is the rate the serving system genuinely
+/// sustains (the blocking spawn path idles in whole `wait_timeout`
+/// slices and would understate it). Deterministic.
+///
+/// # Errors
+/// Propagates [`serve`]'s validation errors.
 pub fn calibrate_capacity(
     runtime: &PagodaConfig,
     bench: Bench,
     gen: &GenOpts,
     probe_tasks: usize,
-) -> f64 {
+) -> Result<f64, ServeError> {
     let mut probe = TenantSpec::new("probe", bench, 1.0e12);
     probe.queue_cap = usize::MAX;
     probe.gen = gen.clone();
@@ -428,7 +461,7 @@ pub fn calibrate_capacity(
     cfg.tasks_per_tenant = probe_tasks;
     cfg.runtime = runtime.clone();
     cfg.mix = "calibration".into();
-    serve(&cfg).report.throughput_per_s
+    Ok(serve(&cfg)?.report.throughput_per_s)
 }
 
 #[cfg(test)]
@@ -451,7 +484,7 @@ mod tests {
     #[test]
     fn serve_conserves_tasks_across_policies() {
         for policy in [Policy::Fifo, Policy::WeightedFair, Policy::Edf] {
-            let out = serve(&tiny_cfg(policy));
+            let out = serve(&tiny_cfg(policy)).unwrap();
             for tr in &out.report.tenants {
                 assert_eq!(tr.offered, tr.admitted + tr.shed, "{policy:?}");
                 assert_eq!(tr.admitted, tr.completed + tr.expired, "{policy:?}");
@@ -464,8 +497,8 @@ mod tests {
     #[test]
     fn serve_is_deterministic() {
         let cfg = tiny_cfg(Policy::WeightedFair);
-        let a = serve(&cfg);
-        let b = serve(&cfg);
+        let a = serve(&cfg).unwrap();
+        let b = serve(&cfg).unwrap();
         let ja = serde_json::to_string(&a.records).unwrap();
         let jb = serde_json::to_string(&b.records).unwrap();
         assert_eq!(ja, jb);
@@ -481,7 +514,7 @@ mod tests {
         // Crank tenant a far past service capacity.
         cfg.tenants[0].arrival = ArrivalSpec::Poisson { rate_per_s: 5.0e7 };
         cfg.tenants[0].queue_cap = 8;
-        let out = serve(&cfg);
+        let out = serve(&cfg).unwrap();
         assert!(
             out.report.tenants[0].shed > 0,
             "overloaded bounded tenant must shed: {:?}",
@@ -497,7 +530,7 @@ mod tests {
         cfg.cancel_late = true;
         cfg.tenants[1].deadline = Some(Dur::from_us(1)); // hopeless deadline
         cfg.tenants[1].arrival = ArrivalSpec::Poisson { rate_per_s: 3.0e7 };
-        let out = serve(&cfg);
+        let out = serve(&cfg).unwrap();
         let t1 = &out.report.tenants[1];
         assert!(t1.expired > 0, "stale tasks must be cancelled: {t1:?}");
         assert_eq!(t1.admitted, t1.completed + t1.expired);

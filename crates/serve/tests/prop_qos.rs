@@ -156,7 +156,7 @@ proptest! {
         cfg.tasks_per_tenant = 40;
         cfg.seed = seed;
         cfg.cancel_late = cancel_late;
-        let out = serve(&cfg);
+        let out = serve(&cfg).unwrap();
 
         let mut done = [0u64; 2];
         let mut shed = [0u64; 2];

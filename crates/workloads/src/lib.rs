@@ -19,6 +19,12 @@
 //! | SLUD | BOTS | dynamic task count | – | – | resident |
 //! | 3DES | NIST | packet sizes | – | – | packet / packet |
 //! | MPE  | mix | ✓ | ✓ | ✓ | mixed |
+//!
+//! When a `pagoda_obs` recorder is attached to the runtime serving these
+//! benchmarks (directly or through `pagoda-serve` tenants), each task
+//! stream appears as its own span track in the chrome://tracing export,
+//! which is how the irregular benchmarks' size distributions become
+//! visible next to the per-SMM resource timelines.
 
 pub mod beamformer;
 pub mod calib;

@@ -11,12 +11,13 @@
 //! The weighted-fair scheduler keeps `packets` responsive through
 //! `tiles`' bursts while `batch` soaks up leftover table capacity.
 //! Prints per-tenant admission/latency tables and writes a
-//! Chrome-tracing timeline of every spawned task.
+//! Chrome-tracing timeline with one span track per task/tenant plus
+//! per-SMM resource counter tracks (free warp slots, free smem, live
+//! table entries), captured through the `pagoda-obs` recorder.
 //!
 //! Run with `cargo run --release --example multi_tenant`.
 
 use pagoda::prelude::*;
-use pagoda_core::write_chrome_trace;
 
 fn main() {
     let mut packets = TenantSpec::new("packets", Bench::Des3, 5.0e5);
@@ -42,7 +43,12 @@ fn main() {
     cfg.tasks_per_tenant = 1024;
     cfg.mix = "demo".into();
 
-    let out = serve(&cfg);
+    // Record the whole stack — task lifecycles, admission counters,
+    // per-SMM resource timelines — through one recorder.
+    let (obs, recorder) = Obs::recording();
+    cfg.obs = obs;
+
+    let out = serve(&cfg).expect("valid serving config");
     let r = &out.report;
 
     println!(
@@ -78,12 +84,22 @@ fn main() {
         );
     }
 
+    let buf = recorder.snapshot();
     let path = std::env::temp_dir().join("pagoda_multi_tenant_trace.json");
     let file = std::fs::File::create(&path).expect("create trace file");
-    write_chrome_trace(&out.traces, std::io::BufWriter::new(file)).expect("write trace");
+    let mut w = std::io::BufWriter::new(file);
+    pagoda_obs::write_chrome_trace(&buf, &mut w).expect("write trace");
     println!(
-        "\ntimeline of {} spawned tasks written to {} (open in chrome://tracing)",
+        "\ntimeline of {} spawned tasks + {} per-SMM resource samples written to {}",
         out.traces.len(),
+        buf.smm.len(),
         path.display()
+    );
+    println!("open it in chrome://tracing or https://ui.perfetto.dev");
+    println!(
+        "recorder counters: admitted={}, shed={}, scheduler decisions={}",
+        buf.counter(Counter::AdmissionAdmitted),
+        buf.counter(Counter::AdmissionShed),
+        buf.counter(Counter::SchedulerDecisions),
     );
 }

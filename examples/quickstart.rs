@@ -23,22 +23,40 @@ fn main() {
         t
     };
 
-    // taskSpawn is non-blocking: 2000 spawns stream into the TaskTable
-    // while earlier tasks are already being scheduled and executed.
-    let ids: Vec<TaskId> = (0..2000)
-        .map(|_| rt.task_spawn(make_task()).expect("valid task"))
-        .collect();
+    // submit() is a non-blocking probe: 2000 spawns stream into the
+    // TaskTable while earlier tasks are already being scheduled and
+    // executed. When the CPU's view of the table fills (it holds 1536
+    // entries), refresh it with the lazy aggregate copy-back and retry.
+    let mut ids: Vec<TaskId> = Vec::with_capacity(2000);
+    let mut pending = make_task();
+    while ids.len() < 2000 {
+        match rt.submit(pending) {
+            Ok(id) => {
+                ids.push(id);
+                pending = make_task();
+            }
+            Err(SubmitError::Full(desc)) => {
+                rt.sync_table();
+                if !rt.capacity().has_room() {
+                    let timeout = rt.config().wait_timeout;
+                    rt.advance_to(rt.host_now() + timeout);
+                }
+                pending = desc;
+            }
+            Err(e) => panic!("unspawnable task: {e}"),
+        }
+    }
     println!("spawned {} tasks by host time {}", ids.len(), rt.host_now());
 
     // Wait for a specific task (wait), poll another (check), then drain
     // everything (waitAll) — the paper's Table 1 API.
-    rt.wait(ids[0]);
+    rt.wait(ids[0]).expect("id issued by this runtime");
     println!(
         "task {:?} done: latency {}",
         ids[0],
         rt.task_latency(ids[0]).unwrap()
     );
-    let done_500 = rt.check(ids[500]);
+    let done_500 = rt.check(ids[500]).expect("id issued by this runtime");
     println!("task {:?} finished yet? {done_500}", ids[500]);
     rt.wait_all();
 

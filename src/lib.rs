@@ -32,6 +32,7 @@
 //! | [`baselines`] | CUDA-HyperQ, GeMTC, static fusion, CPU baselines |
 //! | [`workloads`] | the eight evaluation benchmarks + MPE |
 //! | [`pagoda_serve`] | multi-tenant serving: admission control + QoS |
+//! | [`pagoda_obs`] | cross-layer observability: spans, counters, exporters |
 //!
 //! ## Quickstart
 //!
@@ -41,9 +42,15 @@
 //! // Boot the runtime: launches the MasterKernel at 100 % occupancy.
 //! let mut rt = PagodaRuntime::titan_x();
 //!
-//! // Spawn 1000 narrow tasks (128 threads each) and wait for them.
+//! // Record everything the stack does while we use it.
+//! let (obs, recorder) = Obs::recording();
+//! rt.attach_obs(obs);
+//!
+//! // Spawn 1000 narrow tasks (128 threads each) and wait for them. The
+//! // table holds 1536 entries, so the non-blocking probe never fills up
+//! // here; under overload, retry after `sync_table()`.
 //! for _ in 0..1000 {
-//!     rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(200_000, 8.0)))
+//!     rt.submit(TaskDesc::uniform(128, WarpWork::compute(200_000, 8.0)))
 //!         .unwrap();
 //! }
 //! rt.wait_all();
@@ -52,6 +59,12 @@
 //! assert_eq!(report.tasks, 1000);
 //! println!("makespan: {}, occupancy: {:.1}%",
 //!          report.makespan, report.avg_running_occupancy * 100.0);
+//!
+//! // Export the run as a chrome://tracing timeline with per-SMM
+//! // resource tracks alongside the task spans.
+//! let mut trace = Vec::new();
+//! pagoda_obs::write_chrome_trace(&recorder.snapshot(), &mut trace).unwrap();
+//! assert!(trace.starts_with(br#"{"traceEvents":["#));
 //! ```
 
 pub use baselines;
@@ -59,6 +72,7 @@ pub use desim;
 pub use gpu_arch;
 pub use gpu_sim;
 pub use pagoda_core;
+pub use pagoda_obs;
 pub use pagoda_serve;
 pub use pcie;
 pub use workloads;
@@ -66,13 +80,17 @@ pub use workloads;
 /// The names most programs need.
 pub mod prelude {
     pub use baselines::{
-        run_fusion, run_gemtc, run_hyperq, run_pagoda, run_pthreads, run_sequential, CpuConfig,
-        FusionConfig, GemtcConfig, HyperQConfig, RunSummary,
+        run_fusion, run_gemtc, run_hyperq, run_pagoda, run_pagoda_with_obs, run_pthreads,
+        run_sequential, CpuConfig, FusionConfig, GemtcConfig, HyperQConfig, RunSummary,
     };
     pub use desim::{Dur, SimTime};
     pub use gpu_arch::{GpuSpec, TaskShape};
     pub use gpu_sim::{BlockWork, DeviceConfig, GpuDevice, KernelDesc, Segment, WarpWork};
-    pub use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc, TaskError, TaskId};
-    pub use pagoda_serve::{serve, ArrivalSpec, Policy, ServeConfig, TenantSpec};
+    pub use pagoda_core::{
+        Capacity, ConfigError, PagodaConfig, PagodaConfigBuilder, PagodaError, PagodaRuntime,
+        SubmitError, TaskDesc, TaskError, TaskId,
+    };
+    pub use pagoda_obs::{Counter, MemRecorder, Obs, ObsBuffer, Recorder, TaskState};
+    pub use pagoda_serve::{serve, ArrivalSpec, Policy, ServeConfig, ServeError, TenantSpec};
     pub use workloads::{Bench, GenOpts};
 }

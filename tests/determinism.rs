@@ -75,8 +75,8 @@ fn serve_curves_style_run(policy: Policy, seed: u64) -> (String, String) {
     cfg.seed = seed;
     cfg.mix = "determinism".into();
     cfg.cancel_late = policy == Policy::Edf;
-    cfg.runtime = serving_slice(2);
-    let out = serve(&cfg);
+    cfg.runtime = serving_slice(2).expect("nonzero slice");
+    let out = serve(&cfg).expect("valid serving config");
     (
         serde_json::to_string(&out.records).expect("records serialize"),
         serde_json::to_string(&out.report).expect("report serializes"),
@@ -98,6 +98,49 @@ fn serve_seeds_change_the_records() {
     let (rec_a, _) = serve_curves_style_run(Policy::Fifo, 42);
     let (rec_b, _) = serve_curves_style_run(Policy::Fifo, 43);
     assert_ne!(rec_a, rec_b, "different seeds must change arrival timing");
+}
+
+// Observability must not perturb determinism: two identical runs with a
+// MemRecorder attached at every layer produce byte-identical buffers.
+fn observed_pagoda_run(seed: u64) -> String {
+    let opts = GenOpts {
+        seed,
+        ..GenOpts::default()
+    };
+    let tasks = Bench::Mpe.tasks(192, &opts);
+    let (obs, rec) = Obs::recording();
+    run_pagoda_with_obs(PagodaConfig::default(), &tasks, obs);
+    rec.snapshot().to_json()
+}
+
+#[test]
+fn recorder_buffers_are_byte_identical_across_runs() {
+    let a = observed_pagoda_run(11);
+    let b = observed_pagoda_run(11);
+    assert_eq!(a, b, "observed runs must be byte-identical");
+    assert!(a.len() > 2, "the recorder actually captured events");
+    let c = observed_pagoda_run(12);
+    assert_ne!(a, c, "a different seed must change the recorded history");
+}
+
+// The obs handle attaches through the serving layer too, and recording
+// does not change what serve() returns.
+#[test]
+fn serve_with_recorder_matches_serve_without() {
+    let mk = |obs: Obs| {
+        let mut t = TenantSpec::new("t", Bench::Des3, 3.0e5);
+        t.queue_cap = 16;
+        let mut cfg = ServeConfig::new(vec![t], Policy::Fifo);
+        cfg.tasks_per_tenant = 48;
+        cfg.seed = 5;
+        cfg.obs = obs;
+        serde_json::to_string(&serve(&cfg).expect("valid config").records)
+            .expect("records serialize")
+    };
+    let (obs, rec) = Obs::recording();
+    assert_eq!(mk(Obs::off()), mk(obs));
+    let buf = rec.snapshot();
+    assert_eq!(buf.counter(Counter::AdmissionAdmitted), 48);
 }
 
 #[test]

@@ -145,7 +145,21 @@ fn slud_waves_run_through_pagoda() {
     let mut rt = PagodaRuntime::titan_x();
     for w in &waves {
         for t in w {
-            rt.task_spawn(t.clone()).unwrap();
+            let mut t = t.clone();
+            loop {
+                match rt.submit(t) {
+                    Ok(_) => break,
+                    Err(SubmitError::Full(desc)) => {
+                        rt.sync_table();
+                        if !rt.capacity().has_room() {
+                            let timeout = rt.config().wait_timeout;
+                            rt.advance_to(rt.host_now() + timeout);
+                        }
+                        t = desc;
+                    }
+                    Err(e) => panic!("unspawnable SLUD task: {e}"),
+                }
+            }
         }
         rt.wait_all();
     }

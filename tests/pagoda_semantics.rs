@@ -8,33 +8,54 @@ fn narrow(instrs: u64) -> TaskDesc {
     TaskDesc::uniform(128, WarpWork::compute(instrs, 8.0))
 }
 
+/// The explicit retry loop `submit` expects of its callers: probe, and on
+/// a full CPU view refresh the table (lazy aggregate copy-back) and idle
+/// one wait timeout before retrying.
+fn submit_blocking(rt: &mut PagodaRuntime, t: TaskDesc) -> TaskId {
+    let mut t = t;
+    loop {
+        match rt.submit(t) {
+            Ok(id) => return id,
+            Err(SubmitError::Full(desc)) => {
+                rt.sync_table();
+                if !rt.capacity().has_room() {
+                    let timeout = rt.config().wait_timeout;
+                    rt.advance_to(rt.host_now() + timeout);
+                }
+                t = desc;
+            }
+            Err(e) => panic!("unspawnable task: {e}"),
+        }
+    }
+}
+
 #[test]
 fn wait_blocks_until_the_task_is_done() {
     let mut rt = PagodaRuntime::titan_x();
-    let id = rt.task_spawn(narrow(1_000_000)).unwrap();
+    let id = rt.submit(narrow(1_000_000)).unwrap();
     assert!(rt.task_latency(id).is_none(), "not done at spawn");
-    rt.wait(id);
+    rt.wait(id).unwrap();
     assert!(rt.task_latency(id).is_some());
 }
 
 #[test]
 fn check_is_nonblocking_and_eventually_true() {
     let mut rt = PagodaRuntime::titan_x();
-    let id = rt.task_spawn(narrow(2_000_000)).unwrap();
+    let id = rt.submit(narrow(2_000_000)).unwrap();
     // check() may say false early; after wait() it must say true.
-    let _ = rt.check(id);
-    rt.wait(id);
-    assert!(rt.check(id));
+    let _ = rt.check(id).unwrap();
+    rt.wait(id).unwrap();
+    assert!(rt.check(id).unwrap());
 }
 
 #[test]
 fn wait_on_already_finished_task_returns_immediately() {
     let mut rt = PagodaRuntime::titan_x();
-    let a = rt.task_spawn(narrow(10_000)).unwrap();
-    let b = rt.task_spawn(narrow(50_000_000)).unwrap();
-    rt.wait(b); // by now `a` is long done
+    let a = rt.submit(narrow(10_000)).unwrap();
+    let b = rt.submit(narrow(50_000_000)).unwrap();
+    rt.wait(b).unwrap(); // by now `a` is long done
     let before = rt.host_now();
-    rt.wait(a);
+    rt.wait(a).unwrap();
     let after = rt.host_now();
     // Only the observation copy-back, not another task's runtime.
     assert!((after - before).as_us_f64() < 100.0);
@@ -46,7 +67,7 @@ fn spawning_more_tasks_than_table_entries_recycles_entries() {
     // copy-back path repeatedly.
     let mut rt = PagodaRuntime::titan_x();
     for _ in 0..4000 {
-        rt.task_spawn(narrow(20_000)).unwrap();
+        submit_blocking(&mut rt, narrow(20_000));
     }
     rt.wait_all();
     assert_eq!(rt.report().tasks, 4000);
@@ -57,9 +78,9 @@ fn single_task_runs_via_the_flush_path() {
     // A lone task has no successor to advance the pipeline; only the
     // timeout-driven flush of §4.2.2 can schedule it.
     let mut rt = PagodaRuntime::titan_x();
-    let id = rt.task_spawn(narrow(100_000)).unwrap();
-    rt.wait(id);
-    assert!(rt.check(id));
+    let id = rt.submit(narrow(100_000)).unwrap();
+    rt.wait(id).unwrap();
+    assert!(rt.check(id).unwrap());
 }
 
 #[test]
@@ -69,9 +90,9 @@ fn interleaved_spawn_wait_cycles() {
     let mut rt = PagodaRuntime::titan_x();
     for round in 0..5 {
         let ids: Vec<_> = (0..10)
-            .map(|_| rt.task_spawn(narrow(50_000)).unwrap())
+            .map(|_| rt.submit(narrow(50_000)).unwrap())
             .collect();
-        rt.wait(ids[0]);
+        rt.wait(ids[0]).unwrap();
         rt.wait_all();
         assert_eq!(rt.report().tasks, (round + 1) * 10);
     }
@@ -85,7 +106,7 @@ fn smem_tasks_share_the_mtb_pool() {
     for _ in 0..300 {
         let mut t = narrow(50_000);
         t.smem_per_tb = 16 * 1024;
-        rt.task_spawn(t).unwrap();
+        submit_blocking(&mut rt, t);
     }
     rt.wait_all();
     assert_eq!(rt.report().tasks, 300);
@@ -99,7 +120,7 @@ fn full_pool_smem_tasks_serialize_but_complete() {
     for _ in 0..100 {
         let mut t = narrow(30_000);
         t.smem_per_tb = 32 * 1024;
-        rt.task_spawn(t).unwrap();
+        submit_blocking(&mut rt, t);
     }
     rt.wait_all();
     assert_eq!(rt.report().tasks, 100);
@@ -109,7 +130,7 @@ fn full_pool_smem_tasks_serialize_but_complete() {
 fn sync_tasks_exercise_named_barriers() {
     let mut rt = PagodaRuntime::titan_x();
     for _ in 0..200 {
-        rt.task_spawn(TaskDesc::uniform(128, WarpWork::phased(80_000, 4, 8.0)))
+        rt.submit(TaskDesc::uniform(128, WarpWork::phased(80_000, 4, 8.0)))
             .unwrap();
     }
     rt.wait_all();
@@ -122,7 +143,7 @@ fn many_sync_tasks_exhaust_and_recycle_barrier_ids() {
     // barrier IDs, so allocation must stall and recycle.
     let mut rt = PagodaRuntime::titan_x();
     for _ in 0..500 {
-        rt.task_spawn(TaskDesc::uniform(32, WarpWork::phased(40_000, 2, 8.0)))
+        rt.submit(TaskDesc::uniform(32, WarpWork::phased(40_000, 2, 8.0)))
             .unwrap();
     }
     rt.wait_all();
@@ -144,7 +165,7 @@ fn multi_threadblock_tasks_schedule_tb_by_tb() {
             output_bytes: 0,
             cpu_ops: 4 * 4 * 30_000,
         };
-        rt.task_spawn(t).unwrap();
+        rt.submit(t).unwrap();
     }
     rt.wait_all();
     assert_eq!(rt.report().tasks, 50);
@@ -155,7 +176,7 @@ fn wide_task_spanning_all_executors() {
     // A 992-thread task occupies every executor warp of one MTB.
     let mut rt = PagodaRuntime::titan_x();
     for _ in 0..60 {
-        rt.task_spawn(TaskDesc::uniform(992, WarpWork::compute(100_000, 8.0)))
+        rt.submit(TaskDesc::uniform(992, WarpWork::compute(100_000, 8.0)))
             .unwrap();
     }
     rt.wait_all();
@@ -167,8 +188,8 @@ fn task_bigger_than_one_mtb_is_rejected() {
     let mut rt = PagodaRuntime::titan_x();
     let t = TaskDesc::uniform(1000, WarpWork::compute(1, 1.0));
     assert!(matches!(
-        rt.task_spawn(t),
-        Err(TaskError::TooManyThreadsPerTb { .. })
+        rt.submit(t),
+        Err(SubmitError::Invalid(TaskError::TooManyThreadsPerTb { .. }))
     ));
 }
 
@@ -178,8 +199,8 @@ fn oversized_smem_is_rejected() {
     let mut t = narrow(1);
     t.smem_per_tb = 33 * 1024;
     assert!(matches!(
-        rt.task_spawn(t),
-        Err(TaskError::SmemTooLarge { .. })
+        rt.submit(t),
+        Err(SubmitError::Invalid(TaskError::SmemTooLarge { .. }))
     ));
 }
 
@@ -187,7 +208,7 @@ fn oversized_smem_is_rejected() {
 fn zero_work_tasks_complete() {
     let mut rt = PagodaRuntime::titan_x();
     for _ in 0..64 {
-        rt.task_spawn(narrow(0)).unwrap();
+        rt.submit(narrow(0)).unwrap();
     }
     rt.wait_all();
     assert_eq!(rt.report().tasks, 64);
@@ -198,8 +219,10 @@ fn mixed_width_tasks_pack_executors() {
     let mut rt = PagodaRuntime::titan_x();
     for i in 0..300u32 {
         let threads = [32u32, 96, 128, 256, 480][i as usize % 5];
-        rt.task_spawn(TaskDesc::uniform(threads, WarpWork::compute(60_000, 8.0)))
-            .unwrap();
+        submit_blocking(
+            &mut rt,
+            TaskDesc::uniform(threads, WarpWork::compute(60_000, 8.0)),
+        );
     }
     rt.wait_all();
     let r = rt.report();
@@ -214,7 +237,7 @@ fn io_heavy_tasks_account_pcie_time() {
         let mut t = narrow(10_000);
         t.input_bytes = 64 * 1024;
         t.output_bytes = 64 * 1024;
-        rt.task_spawn(t).unwrap();
+        rt.submit(t).unwrap();
     }
     rt.wait_all();
     let r = rt.report();
@@ -227,7 +250,7 @@ fn io_heavy_tasks_account_pcie_time() {
 fn report_latency_metrics_are_consistent() {
     let mut rt = PagodaRuntime::titan_x();
     let ids: Vec<_> = (0..50)
-        .map(|_| rt.task_spawn(narrow(100_000)).unwrap())
+        .map(|_| rt.submit(narrow(100_000)).unwrap())
         .collect();
     rt.wait_all();
     let r = rt.report();
