@@ -27,6 +27,10 @@ else
     echo "==> cargo clippy unavailable; skipping"
 fi
 
+# Build the bench harness once up front so the smoke invocations below
+# measure the benchmarks, not compilation.
+run cargo build --release --offline -p pagoda-bench
+
 # Smoke the serving benchmark: must produce deterministic curves.
 run cargo run --release --offline -p pagoda-bench --bin serve_curves -- --quick --json >/dev/null
 
@@ -35,5 +39,11 @@ run cargo run --release --offline -p pagoda-bench --bin serve_curves -- --quick 
 # committed BENCH_obs.json comes from a full-size run; the smoke result
 # goes to a scratch path so CI never dirties the tree.
 run cargo run --release --offline -p pagoda-bench --bin obs_overhead -- --smoke --out target/BENCH_obs_smoke.json
+
+# Fleet scaling gate: a 4-device cluster must clear 3.2x the 1-device
+# throughput (the bin exits nonzero otherwise). The committed
+# BENCH_cluster.json comes from a full-size run; the smoke result goes
+# to a scratch path so CI never dirties the tree.
+run cargo run --release --offline -p pagoda-bench --bin cluster_scaling -- --smoke --out target/BENCH_cluster_smoke.json
 
 echo "ci: all checks passed"

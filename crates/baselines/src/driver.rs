@@ -1,18 +1,34 @@
 //! Drivers that run a task list through the Pagoda runtime — continuous
 //! spawning (the real system) and batched spawning (the Fig. 11 ablation).
 
-use pagoda_core::{PagodaConfig, PagodaRuntime, TaskDesc};
+use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc};
 use pagoda_obs::Obs;
 
 use crate::summary::RunSummary;
 
-// The drivers stay on the deprecated blocking `task_spawn`: the paper's
-// spawn loop *is* the blocking spawn (pay the CPU cost, then block on a
-// free entry), and its exact cost ordering is what the Fig. 11 ablation
-// timelines measure.
-#[allow(deprecated)]
-fn spawn_blocking(rt: &mut PagodaRuntime, t: &TaskDesc) {
-    rt.task_spawn(t.clone()).expect("invalid task for Pagoda");
+/// The paper's blocking spawn loop: the non-blocking [`PagodaRuntime::submit`]
+/// probe wrapped in the §4.2.2 retry idiom — on a full table, refresh the
+/// CPU's view with an aggregate copy-back and, if still full, idle one
+/// `wait_timeout` slice before retrying.
+pub fn spawn_blocking(rt: &mut PagodaRuntime, t: &TaskDesc) {
+    let mut desc = t.clone();
+    let mut iterations = 0u64;
+    loop {
+        match rt.submit(desc) {
+            Ok(_) => return,
+            Err(SubmitError::Full(d)) => {
+                rt.sync_table();
+                if !rt.capacity().has_room() {
+                    let timeout = rt.config().wait_timeout;
+                    rt.advance_to(rt.host_now() + timeout);
+                }
+                desc = d;
+            }
+            Err(e) => panic!("invalid task for Pagoda: {e}"),
+        }
+        iterations += 1;
+        assert!(iterations < 100_000_000, "blocking spawn livelocked");
+    }
 }
 
 /// Continuous spawning: tasks are spawned as fast as the host can issue

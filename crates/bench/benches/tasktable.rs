@@ -14,13 +14,9 @@ fn spawn_burst(rows: u32, n: usize) -> f64 {
         ..PagodaConfig::default()
     };
     let mut rt = PagodaRuntime::new(cfg);
+    let task = TaskDesc::uniform(128, WarpWork::compute(50_000, 8.0));
     for _ in 0..n {
-        // This benchmark measures the blocking spawn path itself (entry
-        // search + copy-backs + timeout pacing), so it stays on the
-        // deprecated `task_spawn`.
-        #[allow(deprecated)]
-        rt.task_spawn(TaskDesc::uniform(128, WarpWork::compute(50_000, 8.0)))
-            .unwrap();
+        baselines::spawn_blocking(&mut rt, &task);
     }
     rt.wait_all();
     rt.report().makespan.as_secs_f64()

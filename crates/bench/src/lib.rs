@@ -81,10 +81,7 @@ pub fn run_waves(scheme: Scheme, waves: &[Vec<TaskDesc>]) -> RunSummary {
         let mut rt = PagodaRuntime::new(PagodaConfig::default());
         for w in waves {
             for t in w {
-                // The SLUD driver measures the paper's blocking spawn
-                // loop, so it stays on the deprecated `task_spawn`.
-                #[allow(deprecated)]
-                rt.task_spawn(t.clone()).expect("invalid SLUD task");
+                baselines::spawn_blocking(&mut rt, t);
             }
             rt.wait_all();
         }

@@ -1,0 +1,100 @@
+//! Fleet topology, fault schedule, and retry policy.
+
+use desim::SimTime;
+use pagoda_core::PagodaConfig;
+use pcie::PcieConfig;
+
+use crate::placement::Placement;
+
+/// What happens to a device at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The device stops serving: its clock freezes, in-flight tasks are
+    /// stranded (see [`RetryPolicy`]) and its TaskTable entries leave the
+    /// fleet's admission capacity.
+    Kill,
+    /// The device keeps serving at `1/factor` of its former speed —
+    /// while the fleet clock advances Δt, the device only simulates
+    /// `Δt/factor`. `factor` must be finite and ≥ 1.
+    Slow {
+        /// How many times slower the device becomes.
+        factor: f64,
+    },
+}
+
+/// One scheduled device fault, applied when the fleet clock first
+/// reaches `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Fleet instant at which the fault lands.
+    pub at: SimTime,
+    /// Fleet index of the device it hits.
+    pub device: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// What the fleet does with in-flight tasks stranded by a device kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Stranded tasks are reported lost; [`wait`](crate::ClusterHandle::wait)
+    /// returns [`ClusterError::TaskLost`](crate::ClusterError::TaskLost).
+    Fail,
+    /// Stranded tasks re-enter placement on the surviving devices, up to
+    /// `max_attempts` total submit attempts per task.
+    Resubmit {
+        /// Total submit attempts allowed per task (the first spawn
+        /// counts as one; `max_attempts: 1` never resubmits).
+        max_attempts: u32,
+    },
+}
+
+/// Configuration of a [`ClusterHandle`](crate::ClusterHandle).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One runtime configuration per device, fleet order. Devices are
+    /// independent — heterogeneous fleets are expressed by varying the
+    /// per-device configs.
+    pub devices: Vec<PagodaConfig>,
+    /// Routing policy across the fleet.
+    pub placement: Placement,
+    /// Seed for the placement policy's sampling randomness
+    /// (power-of-two-choices). Same seed ⇒ identical routing.
+    pub seed: u64,
+    /// Link model used to price off-affinity placements: a task landing
+    /// outside its tenant's home set first stages [`xfer_bytes`] over
+    /// this link.
+    ///
+    /// [`xfer_bytes`]: ClusterConfig::xfer_bytes
+    pub interconnect: PcieConfig,
+    /// Home-set width: each tenant's state is resident on this many
+    /// consecutive devices (min 1, capped at the fleet size).
+    pub affinity_spread: u32,
+    /// Bytes of tenant state staged across [`interconnect`] when a task
+    /// is placed off its home set.
+    ///
+    /// [`interconnect`]: ClusterConfig::interconnect
+    pub xfer_bytes: u64,
+    /// Scheduled device faults, applied in fleet-time order.
+    pub faults: Vec<FaultSpec>,
+    /// What happens to in-flight tasks on a killed device.
+    pub retry: RetryPolicy,
+}
+
+impl ClusterConfig {
+    /// A uniform fleet of `n` default (Titan X class) devices:
+    /// least-outstanding placement, no faults, resubmit-on-kill with up
+    /// to 3 attempts.
+    pub fn uniform(n: usize) -> Self {
+        ClusterConfig {
+            devices: vec![PagodaConfig::default(); n],
+            placement: Placement::LeastOutstanding,
+            seed: 0x5eed_f1ee,
+            interconnect: PcieConfig::default(),
+            affinity_spread: 1,
+            xfer_bytes: 4096,
+            faults: Vec::new(),
+            retry: RetryPolicy::Resubmit { max_attempts: 3 },
+        }
+    }
+}

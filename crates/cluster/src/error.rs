@@ -1,0 +1,62 @@
+//! The typed error surface of the fleet layer.
+
+use pagoda_core::ConfigError;
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterError {
+    /// [`ClusterConfig::devices`](crate::ClusterConfig::devices) was empty.
+    NoDevices,
+    /// One device's [`PagodaConfig`](pagoda_core::PagodaConfig) failed
+    /// validation.
+    Config {
+        /// Fleet index of the offending device.
+        device: usize,
+        /// The underlying validation failure.
+        err: ConfigError,
+    },
+    /// A [`FaultSpec`](crate::FaultSpec) was malformed.
+    BadFault {
+        /// Index into [`ClusterConfig::faults`](crate::ClusterConfig::faults).
+        index: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A task key this fleet never issued.
+    UnknownTask {
+        /// The offending key.
+        key: u64,
+    },
+    /// The task's device died and the retry policy gave up on it.
+    TaskLost {
+        /// The lost task's key.
+        key: u64,
+        /// Submit attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoDevices => write!(f, "cluster config lists no devices"),
+            ClusterError::Config { device, err } => {
+                write!(f, "device {device} config invalid: {err}")
+            }
+            ClusterError::BadFault { index, reason } => {
+                write!(f, "fault #{index} invalid: {reason}")
+            }
+            ClusterError::UnknownTask { key } => {
+                write!(f, "task key {key} was never issued by this fleet")
+            }
+            ClusterError::TaskLost { key, attempts } => {
+                write!(
+                    f,
+                    "task {key} lost to a device failure after {attempts} attempt(s)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

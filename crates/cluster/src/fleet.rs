@@ -1,0 +1,1009 @@
+//! [`ClusterHandle`]: N simulated Pagoda devices behind one fleet clock.
+//!
+//! Each device is a full [`PagodaRuntime`] — own GPU, own PCIe link, own
+//! 48×32 TaskTable — constructed from its slot in
+//! [`ClusterConfig::devices`]. The fleet manager owns a single *fleet*
+//! clock and steps every live device to each fleet instant in lockstep;
+//! a per-device [`ClockMap`] translates fleet time into device-local
+//! time, so a slowed device simply receives less simulated time per
+//! fleet step and a killed device receives none. Between lockstep steps
+//! the per-device *host* clocks are free to run ahead independently
+//! (each `submit` charges its spawn CPU cost on the owning device only),
+//! which is exactly why a fleet outruns one device: N spawn pipelines
+//! and N PCIe links proceed in parallel.
+//!
+//! Task identity: the fleet issues its own dense `u64` keys (per-device
+//! [`TaskId`]s collide across devices). Completion is harvested on
+//! [`ClusterHandle::sync`] via each device's §4.2.2 aggregate copy-back,
+//! and device-local completion timestamps are mapped back to fleet time
+//! through the device's clock history.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use desim::{ClockMap, Dur, EngineStats, SimTime};
+use pagoda_core::trace::TaskTrace;
+use pagoda_core::{Capacity, PagodaRuntime, SubmitError, TaskDesc, TaskId};
+use pagoda_obs::{Counter, DeviceSample, Obs, TaskState};
+use pagoda_serve::{serve_on, ServeBackend, ServeConfig, ServeError, ServeOutcome};
+use pcie::{Direction, PcieConfig};
+
+use crate::config::{ClusterConfig, FaultKind, FaultSpec, RetryPolicy};
+use crate::error::ClusterError;
+use crate::placement::{DeviceView, Placer};
+
+/// Where a cluster task currently is in its fleet-level lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Spawned on a device, completion not yet observed.
+    InFlight,
+    /// Stranded by a device kill, awaiting resubmission.
+    Queued,
+    /// Output observed in host memory.
+    Done,
+    /// Given up on after a device failure.
+    Lost,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Status {
+    InFlight { device: usize },
+    Queued,
+    Done { at: SimTime },
+    Lost { at: SimTime },
+}
+
+#[derive(Debug)]
+struct CTask {
+    tenant: u32,
+    desc: TaskDesc,
+    attempts: u32,
+    status: Status,
+}
+
+struct Device {
+    rt: PagodaRuntime,
+    clock: ClockMap,
+    alive: bool,
+    /// fleet key → device-local id, insertion-ordered for deterministic
+    /// harvest order.
+    outstanding: BTreeMap<u64, TaskId>,
+    spawned: u64,
+    completed: u64,
+}
+
+impl Device {
+    fn view(&self) -> DeviceView {
+        DeviceView {
+            alive: self.alive,
+            known_free: self.rt.capacity().known_free,
+            outstanding: self.outstanding.len() as u32,
+        }
+    }
+}
+
+/// Per-device slice of a [`FleetReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceReport {
+    /// Fleet index.
+    pub device: u32,
+    /// Whether the device was still serving at report time.
+    pub alive: bool,
+    /// Cluster tasks spawned onto it (resubmissions count again).
+    pub spawned: u64,
+    /// Cluster tasks whose completion it delivered.
+    pub completed: u64,
+    /// Mean fraction of its warp slots doing task work while tasks ran.
+    pub avg_running_occupancy: f64,
+}
+
+/// Aggregate outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// One entry per device, fleet order.
+    pub devices: Vec<DeviceReport>,
+    /// Fleet clock at report time.
+    pub makespan: SimTime,
+    /// Tasks completed fleet-wide.
+    pub completed: u64,
+    /// Routed submits that succeeded (resubmissions included).
+    pub placements: u64,
+    /// Placements that landed off the tenant's home set.
+    pub off_affinity: u64,
+    /// Tasks re-spawned on a surviving device after a kill.
+    pub resubmits: u64,
+    /// Tasks lost to device failures.
+    pub tasks_lost: u64,
+    /// Kill faults applied.
+    pub kills: u64,
+    /// Slowdown faults applied.
+    pub slowdowns: u64,
+    /// Spawn-weighted mean of per-device running occupancy.
+    pub avg_warp_occupancy: f64,
+}
+
+/// A fleet of simulated Pagoda devices with routed placement and
+/// failover, exposing the single-runtime `submit`/`wait` shape with
+/// fleet-unique `u64` task keys.
+pub struct ClusterHandle {
+    devices: Vec<Device>,
+    placer: Placer,
+    interconnect: PcieConfig,
+    xfer_bytes: u64,
+    retry: RetryPolicy,
+    faults: Vec<FaultSpec>,
+    next_fault: usize,
+    fleet_now: SimTime,
+    tasks: Vec<CTask>,
+    pending: VecDeque<u64>,
+    unresolved: u64,
+    wait_timeout: Dur,
+    obs: Obs,
+    placements: u64,
+    off_affinity: u64,
+    resubmits: u64,
+    lost: u64,
+    kills: u64,
+    slowdowns: u64,
+}
+
+impl ClusterHandle {
+    /// Builds the fleet: validates every device config and the fault
+    /// schedule, instantiates one [`PagodaRuntime`] per device.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoDevices`], [`ClusterError::Config`] or
+    /// [`ClusterError::BadFault`] on a malformed configuration.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
+        if cfg.devices.is_empty() {
+            return Err(ClusterError::NoDevices);
+        }
+        for (device, c) in cfg.devices.iter().enumerate() {
+            c.validate()
+                .map_err(|err| ClusterError::Config { device, err })?;
+        }
+        for (index, f) in cfg.faults.iter().enumerate() {
+            if f.device >= cfg.devices.len() {
+                return Err(ClusterError::BadFault {
+                    index,
+                    reason: "device index out of range",
+                });
+            }
+            if let FaultKind::Slow { factor } = f.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(ClusterError::BadFault {
+                        index,
+                        reason: "slow factor must be finite and >= 1",
+                    });
+                }
+            }
+        }
+        let mut faults = cfg.faults.clone();
+        faults.sort_by_key(|f| f.at); // stable: same-instant faults keep config order
+        let wait_timeout = cfg
+            .devices
+            .iter()
+            .map(|c| c.wait_timeout)
+            .min()
+            .expect("fleet is non-empty");
+        let devices = cfg
+            .devices
+            .iter()
+            .map(|c| Device {
+                rt: PagodaRuntime::new(c.clone()),
+                clock: ClockMap::identity(),
+                alive: true,
+                outstanding: BTreeMap::new(),
+                spawned: 0,
+                completed: 0,
+            })
+            .collect();
+        Ok(ClusterHandle {
+            devices,
+            placer: Placer::new(cfg.placement, cfg.seed, cfg.affinity_spread),
+            interconnect: cfg.interconnect,
+            xfer_bytes: cfg.xfer_bytes,
+            retry: cfg.retry,
+            faults,
+            next_fault: 0,
+            fleet_now: SimTime::ZERO,
+            tasks: Vec::new(),
+            pending: VecDeque::new(),
+            unresolved: 0,
+            wait_timeout,
+            obs: Obs::off(),
+            placements: 0,
+            off_affinity: 0,
+            resubmits: 0,
+            lost: 0,
+            kills: 0,
+            slowdowns: 0,
+        })
+    }
+
+    /// Records fleet-level events (task spans keyed by cluster task key,
+    /// per-device [`DeviceSample`] tracks, `cluster_*` counters) to
+    /// `obs`. The member runtimes are deliberately *not* attached: their
+    /// device-local task ids would collide across the fleet.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Number of devices configured (dead ones included).
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The fleet clock.
+    pub fn now(&self) -> SimTime {
+        self.fleet_now
+    }
+
+    /// Fleet-wide admission headroom: the sum over *live* devices of
+    /// their host-side known-free entry counts. A kill shrinks `total`.
+    pub fn capacity(&self) -> Capacity {
+        let mut known_free = 0;
+        let mut total = 0;
+        for d in &self.devices {
+            if d.alive {
+                let c = d.rt.capacity();
+                known_free += c.known_free;
+                total += c.total;
+            }
+        }
+        Capacity { known_free, total }
+    }
+
+    /// [`submit_for`](ClusterHandle::submit_for) on behalf of tenant 0.
+    ///
+    /// # Errors
+    /// See [`submit_for`](ClusterHandle::submit_for).
+    pub fn submit(&mut self, desc: TaskDesc) -> Result<u64, SubmitError> {
+        self.submit_for(0, desc)
+    }
+
+    /// Routes one task: asks the placement policy for a device, charges
+    /// the staging transfer if the choice is off `tenant`'s home set,
+    /// and spawns through that device's non-blocking submit. Returns the
+    /// fleet-unique task key.
+    ///
+    /// # Errors
+    /// [`SubmitError::Full`] hands the descriptor back when the chosen
+    /// device has no known-free entry (or no device is alive) — call
+    /// [`sync`](ClusterHandle::sync) and
+    /// [`advance_to`](ClusterHandle::advance_to), then retry, exactly as
+    /// with a single runtime. Task-shape errors propagate unchanged.
+    pub fn submit_for(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
+        let kept = desc.clone();
+        let (device, id, off_home) = self.route(tenant, desc)?;
+        let key = self.tasks.len() as u64;
+        self.tasks.push(CTask {
+            tenant,
+            desc: kept,
+            attempts: 1,
+            status: Status::InFlight { device },
+        });
+        self.unresolved += 1;
+        self.commit_spawn(key, tenant, device, id, off_home, false);
+        Ok(key)
+    }
+
+    /// Placement + staging charge + device-local spawn.
+    fn route(&mut self, tenant: u32, desc: TaskDesc) -> Result<(usize, TaskId, bool), SubmitError> {
+        let views: Vec<DeviceView> = self.devices.iter().map(Device::view).collect();
+        let Some(device) = self.placer.place(tenant, &views) else {
+            return Err(SubmitError::Full(desc));
+        };
+        let off_home = !self.placer.is_home(tenant, device, self.devices.len());
+        let d = &mut self.devices[device];
+        if off_home {
+            // Tenant state is staged device-to-device before the spawn
+            // can land; modeled as a one-hop transfer on the fleet
+            // interconnect, serialized on the target device's timeline.
+            let stage = self
+                .interconnect
+                .transfer_time(Direction::HostToDevice, self.xfer_bytes);
+            let at = d.rt.host_now() + stage;
+            d.rt.advance_to(at);
+        }
+        let id = d.rt.submit(desc)?;
+        Ok((device, id, off_home))
+    }
+
+    /// Bookkeeping shared by first spawns and resubmissions.
+    fn commit_spawn(
+        &mut self,
+        key: u64,
+        tenant: u32,
+        device: usize,
+        id: TaskId,
+        off_home: bool,
+        resubmit: bool,
+    ) {
+        let d = &mut self.devices[device];
+        d.outstanding.insert(key, id);
+        d.spawned += 1;
+        self.tasks[key as usize].status = Status::InFlight { device };
+        self.placements += 1;
+        self.obs.count(Counter::ClusterPlacements, 1);
+        if off_home {
+            self.off_affinity += 1;
+            self.obs.count(Counter::ClusterOffAffinity, 1);
+        }
+        if resubmit {
+            self.tasks[key as usize].attempts += 1;
+            self.resubmits += 1;
+            self.obs.count(Counter::ClusterResubmits, 1);
+        } else {
+            self.obs
+                .task(self.fleet_now.as_ps(), key, TaskState::Spawned);
+            self.obs.tenant(key, tenant);
+        }
+        self.sample_device(device);
+    }
+
+    fn sample_device(&self, device: usize) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let d = &self.devices[device];
+        self.obs.device(DeviceSample {
+            at_ps: self.fleet_now.as_ps(),
+            device: device as u32,
+            known_free: if d.alive {
+                d.rt.capacity().known_free
+            } else {
+                0
+            },
+            outstanding: d.outstanding.len() as u32,
+            alive: d.alive,
+        });
+    }
+
+    /// Refreshes the fleet's completion view: one §4.2.2 aggregate
+    /// copy-back per live device, then harvests finished tasks and
+    /// drains the resubmission queue onto devices with room. Costs
+    /// simulated time on each device, like
+    /// [`PagodaRuntime::sync_table`].
+    pub fn sync(&mut self) {
+        for i in 0..self.devices.len() {
+            if self.devices[i].alive {
+                self.devices[i].rt.sync_table();
+                self.harvest(i, true);
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// Moves observed completions on device `i` from in-flight to done,
+    /// mapping device-local output timestamps to fleet time.
+    ///
+    /// With `gate` set, a completion only counts once the fleet clock
+    /// has reached its mapped fleet instant. Device clocks legitimately
+    /// run ahead of the lockstep (parallel spawn costs, per-round
+    /// copyback costs), and for a *slowed* device that run-ahead is
+    /// cheap local time that maps far into the fleet future — without
+    /// the gate, the fleet would observe those completions early and a
+    /// slowdown would cost nothing. Kill-harvest passes `gate = false`:
+    /// it reads the device's final local state, whenever that ran to.
+    fn harvest(&mut self, i: usize, gate: bool) {
+        let finished: Vec<(u64, SimTime)> = {
+            let d = &self.devices[i];
+            let now = self.fleet_now;
+            d.outstanding
+                .iter()
+                .filter_map(|(&key, &id)| {
+                    let done =
+                        d.rt.observed_done(id)
+                            .expect("invariant: fleet only holds ids its devices issued");
+                    if !done {
+                        return None;
+                    }
+                    let local =
+                        d.rt.trace(id)
+                            .expect("invariant: fleet only holds ids its devices issued")
+                            .output_done
+                            .expect("invariant: observed-done task has an output time");
+                    let at = d.clock.fleet_of(local);
+                    if gate && at > now {
+                        return None;
+                    }
+                    Some((key, at))
+                })
+                .collect()
+        };
+        let any = !finished.is_empty();
+        for (key, at) in finished {
+            self.devices[i].outstanding.remove(&key);
+            self.devices[i].completed += 1;
+            self.tasks[key as usize].status = Status::Done { at };
+            self.unresolved -= 1;
+            self.obs.task(at.as_ps(), key, TaskState::Freed);
+        }
+        if any {
+            self.sample_device(i);
+        }
+    }
+
+    /// Re-places queued (stranded) tasks onto surviving devices, FIFO.
+    /// Stops at the first task that finds no room; if no device is left
+    /// alive, the whole queue is lost.
+    fn drain_pending(&mut self) {
+        if !self.devices.iter().any(|d| d.alive) {
+            while let Some(key) = self.pending.pop_front() {
+                self.mark_lost(key, self.fleet_now);
+            }
+            return;
+        }
+        while let Some(&key) = self.pending.front() {
+            let tenant = self.tasks[key as usize].tenant;
+            let desc = self.tasks[key as usize].desc.clone();
+            match self.route(tenant, desc) {
+                Ok((device, id, off_home)) => {
+                    self.pending.pop_front();
+                    self.commit_spawn(key, tenant, device, id, off_home, true);
+                }
+                Err(SubmitError::Full(_)) => break,
+                Err(e) => unreachable!("descriptor spawned once, cannot be invalid now: {e}"),
+            }
+        }
+    }
+
+    fn mark_lost(&mut self, key: u64, at: SimTime) {
+        self.tasks[key as usize].status = Status::Lost { at };
+        self.unresolved -= 1;
+        self.lost += 1;
+        self.obs.count(Counter::ClusterTasksLost, 1);
+        self.obs.task(at.as_ps(), key, TaskState::Freed);
+    }
+
+    /// Advances the fleet clock to `t` (no-op if in the past), stepping
+    /// every live device in lockstep and applying any scheduled faults
+    /// whose instant is reached on the way.
+    pub fn advance_to(&mut self, t: SimTime) {
+        while self.next_fault < self.faults.len() && self.faults[self.next_fault].at <= t {
+            let f = self.faults[self.next_fault];
+            self.next_fault += 1;
+            let at = f.at.max(self.fleet_now);
+            self.step_devices(at);
+            self.apply_fault(&f, at);
+        }
+        self.step_devices(t);
+    }
+
+    fn step_devices(&mut self, t: SimTime) {
+        if t <= self.fleet_now {
+            return;
+        }
+        for d in &mut self.devices {
+            if d.alive {
+                let local = d.clock.local_of(t);
+                d.rt.advance_to(local);
+            }
+        }
+        self.fleet_now = t;
+    }
+
+    fn apply_fault(&mut self, f: &FaultSpec, at: SimTime) {
+        match f.kind {
+            FaultKind::Slow { factor } => {
+                if !self.devices[f.device].alive {
+                    return;
+                }
+                self.devices[f.device].clock.set_rate(at, 1.0 / factor);
+                self.slowdowns += 1;
+                self.obs.count(Counter::ClusterDeviceSlowdowns, 1);
+                self.sample_device(f.device);
+            }
+            FaultKind::Kill => {
+                if !self.devices[f.device].alive {
+                    return;
+                }
+                // Last harvest: completions already in host memory (or
+                // observable via one final copy-back) survive the kill.
+                self.devices[f.device].rt.sync_table();
+                self.harvest(f.device, false);
+                self.devices[f.device].alive = false;
+                self.kills += 1;
+                self.obs.count(Counter::ClusterDeviceKills, 1);
+                let stranded: Vec<u64> =
+                    self.devices[f.device].outstanding.keys().copied().collect();
+                self.devices[f.device].outstanding.clear();
+                for key in stranded {
+                    let retry = match self.retry {
+                        RetryPolicy::Fail => false,
+                        RetryPolicy::Resubmit { max_attempts } => {
+                            self.tasks[key as usize].attempts < max_attempts
+                        }
+                    };
+                    if retry {
+                        self.tasks[key as usize].status = Status::Queued;
+                        self.pending.push_back(key);
+                    } else {
+                        self.mark_lost(key, at);
+                    }
+                }
+                self.sample_device(f.device);
+                self.drain_pending();
+            }
+        }
+    }
+
+    /// Where task `key` is in its lifecycle.
+    ///
+    /// # Errors
+    /// [`ClusterError::UnknownTask`] for a key this fleet never issued.
+    pub fn status(&self, key: u64) -> Result<TaskStatus, ClusterError> {
+        let t = self
+            .tasks
+            .get(key as usize)
+            .ok_or(ClusterError::UnknownTask { key })?;
+        Ok(match t.status {
+            Status::InFlight { .. } => TaskStatus::InFlight,
+            Status::Queued => TaskStatus::Queued,
+            Status::Done { .. } => TaskStatus::Done,
+            Status::Lost { .. } => TaskStatus::Lost,
+        })
+    }
+
+    /// Fleet index of the device `key` is currently in flight on
+    /// (`None` once done, lost, or while queued for resubmission).
+    pub fn device_of(&self, key: u64) -> Option<usize> {
+        match self.tasks.get(key as usize)?.status {
+            Status::InFlight { device } => Some(device),
+            _ => None,
+        }
+    }
+
+    /// Fleet instant at which `key`'s output landed in host memory;
+    /// `None` until then (for a lost task, the instant it was given up).
+    pub fn completion_time(&self, key: u64) -> Option<SimTime> {
+        match self.tasks.get(key as usize)?.status {
+            Status::Done { at } | Status::Lost { at } => Some(at),
+            _ => None,
+        }
+    }
+
+    /// Blocks (in simulated time) until `key` completes: sync, then idle
+    /// the fleet by its polling slice, repeatedly — the single-runtime
+    /// `wait` loop, fleet-wide. Returns the completion instant.
+    ///
+    /// # Errors
+    /// [`ClusterError::UnknownTask`] for a foreign key;
+    /// [`ClusterError::TaskLost`] if a device died under the task and
+    /// the retry policy gave up.
+    pub fn wait(&mut self, key: u64) -> Result<SimTime, ClusterError> {
+        if key as usize >= self.tasks.len() {
+            return Err(ClusterError::UnknownTask { key });
+        }
+        let mut iterations = 0u64;
+        loop {
+            match self.tasks[key as usize].status {
+                Status::Done { at } => return Ok(at),
+                Status::Lost { .. } => {
+                    return Err(ClusterError::TaskLost {
+                        key,
+                        attempts: self.tasks[key as usize].attempts,
+                    })
+                }
+                _ => {}
+            }
+            self.sync();
+            if matches!(
+                self.tasks[key as usize].status,
+                Status::InFlight { .. } | Status::Queued
+            ) {
+                self.advance_to(self.fleet_now + self.wait_timeout);
+            }
+            iterations += 1;
+            assert!(iterations < 100_000_000, "cluster wait livelocked");
+        }
+    }
+
+    /// Runs the fleet until every issued task is done or lost.
+    pub fn wait_all(&mut self) {
+        let mut iterations = 0u64;
+        while self.unresolved > 0 {
+            self.sync();
+            if self.unresolved > 0 {
+                self.advance_to(self.fleet_now + self.wait_timeout);
+            }
+            iterations += 1;
+            assert!(iterations < 100_000_000, "cluster wait_all livelocked");
+        }
+    }
+
+    /// Per-device [`desim`] engine counters, fleet order — the
+    /// determinism fingerprint: two runs of the same configuration must
+    /// produce identical vectors.
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        self.devices.iter().map(|d| d.rt.engine_stats()).collect()
+    }
+
+    /// Aggregates the run so far.
+    pub fn report(&mut self) -> FleetReport {
+        let mut devices = Vec::with_capacity(self.devices.len());
+        let mut occ_weighted = 0.0;
+        let mut occ_weight = 0u64;
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            let occ = d.rt.report().avg_running_occupancy;
+            if d.spawned > 0 {
+                occ_weighted += occ * d.spawned as f64;
+                occ_weight += d.spawned;
+            }
+            devices.push(DeviceReport {
+                device: i as u32,
+                alive: d.alive,
+                spawned: d.spawned,
+                completed: d.completed,
+                avg_running_occupancy: occ,
+            });
+        }
+        FleetReport {
+            devices,
+            makespan: self.fleet_now,
+            completed: self.tasks.len() as u64 - self.lost - self.unresolved,
+            placements: self.placements,
+            off_affinity: self.off_affinity,
+            resubmits: self.resubmits,
+            tasks_lost: self.lost,
+            kills: self.kills,
+            slowdowns: self.slowdowns,
+            avg_warp_occupancy: if occ_weight > 0 {
+                occ_weighted / occ_weight as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The fleet behind the serving loop: [`pagoda_serve::serve_on`] drives
+/// a [`ClusterHandle`] exactly as it drives one runtime. A task lost to
+/// a device failure "completes" at its loss instant from the serving
+/// layer's viewpoint (its sojourn ends there); the fleet's
+/// `cluster_tasks_lost` counter and [`FleetReport::tasks_lost`] record
+/// the failure.
+impl ServeBackend for ClusterHandle {
+    fn submit(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
+        self.submit_for(tenant, desc)
+    }
+
+    fn capacity(&self) -> Capacity {
+        ClusterHandle::capacity(self)
+    }
+
+    fn observed_done(&self, key: u64) -> bool {
+        matches!(
+            self.tasks
+                .get(key as usize)
+                .expect("invariant: serve loop only passes keys this fleet issued")
+                .status,
+            Status::Done { .. } | Status::Lost { .. }
+        )
+    }
+
+    fn completion_time(&self, key: u64) -> Option<SimTime> {
+        ClusterHandle::completion_time(self, key)
+    }
+
+    fn now(&self) -> SimTime {
+        self.fleet_now
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        ClusterHandle::advance_to(self, t);
+    }
+
+    fn sync(&mut self) {
+        ClusterHandle::sync(self);
+    }
+
+    fn wait_timeout(&self) -> Dur {
+        self.wait_timeout
+    }
+
+    fn warp_occupancy(&mut self) -> f64 {
+        self.report().avg_warp_occupancy
+    }
+
+    fn traces(&self) -> Vec<TaskTrace> {
+        // Fleet keys do not map to one runtime's trace ids; per-device
+        // timelines are exported through `pagoda-obs` instead.
+        Vec::new()
+    }
+}
+
+/// Serves `cfg`'s tenant mix on `fleet` and returns both the serving
+/// outcome and the fleet's report. Attaches `cfg.obs` to the fleet so
+/// admission counters, tenant tags, and device tracks land in one
+/// recorder. `cfg.runtime` is ignored — the fleet brings its devices.
+///
+/// # Errors
+/// Propagates [`ServeError`] from the serving loop.
+pub fn serve_fleet(
+    cfg: &ServeConfig,
+    fleet: &mut ClusterHandle,
+) -> Result<(ServeOutcome, FleetReport), ServeError> {
+    fleet.attach_obs(cfg.obs.clone());
+    let out = serve_on(cfg, fleet)?;
+    Ok((out, fleet.report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::placement::Placement;
+    use gpu_sim::WarpWork;
+
+    /// ~90 us of device time — long enough that a fault scheduled a few
+    /// microseconds in lands while work is still in flight.
+    fn task() -> TaskDesc {
+        TaskDesc::uniform(64, WarpWork::compute(200_000, 8.0))
+    }
+
+    fn run_batch(mut fleet: ClusterHandle, n: usize) -> (Vec<u64>, ClusterHandle) {
+        let mut keys = Vec::new();
+        for _ in 0..n {
+            loop {
+                match fleet.submit(task()) {
+                    Ok(k) => {
+                        keys.push(k);
+                        break;
+                    }
+                    Err(SubmitError::Full(_)) => {
+                        fleet.sync();
+                        if !fleet.capacity().has_room() {
+                            let t = fleet.now() + Dur::from_us(20);
+                            fleet.advance_to(t);
+                        }
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+        fleet.wait_all();
+        (keys, fleet)
+    }
+
+    #[test]
+    fn uniform_fleet_completes_and_spreads() {
+        let fleet = ClusterHandle::new(ClusterConfig::uniform(4)).unwrap();
+        let (keys, mut fleet) = run_batch(fleet, 64);
+        for k in keys {
+            assert_eq!(fleet.status(k).unwrap(), TaskStatus::Done);
+            assert!(fleet.completion_time(k).is_some());
+        }
+        let rep = fleet.report();
+        assert_eq!(rep.completed, 64);
+        assert_eq!(rep.tasks_lost, 0);
+        assert_eq!(rep.placements, 64);
+        for d in &rep.devices {
+            assert!(d.spawned > 0, "device {} got nothing", d.device);
+            assert_eq!(d.spawned, d.completed);
+        }
+    }
+
+    #[test]
+    fn kill_with_fail_policy_loses_in_flight_and_shrinks_capacity() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.retry = RetryPolicy::Fail;
+        cfg.faults = vec![FaultSpec {
+            at: SimTime::from_us(5),
+            device: 0,
+            kind: FaultKind::Kill,
+        }];
+        let mut fleet = ClusterHandle::new(cfg).unwrap();
+        let full = fleet.capacity().total;
+        let keys: Vec<u64> = (0..32).map(|_| fleet.submit(task()).unwrap()).collect();
+        fleet.wait_all();
+        assert_eq!(fleet.capacity().total, full / 2, "kill halves admission");
+        let rep = fleet.report();
+        assert_eq!(rep.kills, 1);
+        assert!(rep.tasks_lost > 0, "in-flight work on device 0 was lost");
+        assert_eq!(rep.completed + rep.tasks_lost, 32);
+        let lost: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&k| fleet.status(k).unwrap() == TaskStatus::Lost)
+            .collect();
+        assert_eq!(lost.len() as u64, rep.tasks_lost);
+        let err = fleet.wait(lost[0]).unwrap_err();
+        assert!(matches!(err, ClusterError::TaskLost { .. }));
+    }
+
+    #[test]
+    fn kill_with_resubmit_policy_loses_nothing() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.retry = RetryPolicy::Resubmit { max_attempts: 3 };
+        cfg.faults = vec![FaultSpec {
+            at: SimTime::from_us(5),
+            device: 0,
+            kind: FaultKind::Kill,
+        }];
+        let fleet = ClusterHandle::new(cfg).unwrap();
+        let (keys, mut fleet) = run_batch(fleet, 32);
+        for k in keys {
+            assert_eq!(fleet.status(k).unwrap(), TaskStatus::Done);
+        }
+        let rep = fleet.report();
+        assert_eq!(rep.tasks_lost, 0);
+        assert!(rep.resubmits > 0, "stranded tasks were re-placed");
+        assert_eq!(rep.completed, 32);
+        assert!(!rep.devices[0].alive);
+        assert_eq!(
+            rep.devices[0].completed + rep.devices[1].completed,
+            32,
+            "everything lands despite the kill"
+        );
+    }
+
+    #[test]
+    fn slowdown_stretches_makespan() {
+        // Long tasks (~500 us device time) so completion genuinely needs
+        // fleet time beyond the submit burst's host-clock run-ahead.
+        let run = |faults: Vec<FaultSpec>| {
+            let mut cfg = ClusterConfig::uniform(2);
+            cfg.faults = faults;
+            let mut fleet = ClusterHandle::new(cfg).unwrap();
+            for _ in 0..8 {
+                fleet
+                    .submit(TaskDesc::uniform(64, WarpWork::compute(2_000_000, 8.0)))
+                    .expect("empty fleet has room");
+            }
+            fleet.wait_all();
+            (fleet.report().makespan, fleet.report().slowdowns)
+        };
+        let (healthy, s0) = run(vec![]);
+        let (degraded, s1) = run(vec![FaultSpec {
+            at: SimTime::from_us(2),
+            device: 0,
+            kind: FaultKind::Slow { factor: 8.0 },
+        }]);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert!(
+            degraded > healthy,
+            "slowdown must cost fleet time: {degraded:?} vs {healthy:?}"
+        );
+    }
+
+    #[test]
+    fn off_affinity_pays_and_counts() {
+        let mut cfg = ClusterConfig::uniform(4);
+        cfg.placement = Placement::TenantAffinity;
+        cfg.affinity_spread = 1;
+        for c in &mut cfg.devices {
+            c.rows_per_column = 1; // 48 entries per device: small enough to flood
+        }
+        let mut fleet = ClusterHandle::new(cfg).unwrap();
+        // Tenant 2's home is device 2; flood it past one column's room
+        // so placement spills to non-home devices.
+        let mut spilled = 0;
+        for _ in 0..96 {
+            match fleet.submit_for(2, task()) {
+                Ok(k) => {
+                    if fleet.device_of(k) != Some(2) {
+                        spilled += 1;
+                    }
+                }
+                Err(SubmitError::Full(_)) => {
+                    fleet.sync();
+                    let t = fleet.now() + Dur::from_us(20);
+                    fleet.advance_to(t);
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        fleet.wait_all();
+        let rep = fleet.report();
+        assert!(rep.off_affinity > 0, "flooded tenant must spill off-home");
+        assert_eq!(rep.off_affinity, spilled);
+    }
+
+    #[test]
+    fn same_config_same_fingerprint() {
+        let build = || {
+            let mut cfg = ClusterConfig::uniform(3);
+            cfg.placement = Placement::PowerOfTwo;
+            cfg.seed = 99;
+            cfg.faults = vec![FaultSpec {
+                at: SimTime::from_us(10),
+                device: 1,
+                kind: FaultKind::Kill,
+            }];
+            ClusterHandle::new(cfg).unwrap()
+        };
+        let (keys_a, mut a) = run_batch(build(), 40);
+        let (keys_b, mut b) = run_batch(build(), 40);
+        assert_eq!(a.engine_stats(), b.engine_stats());
+        let times_a: Vec<_> = keys_a.iter().map(|&k| a.completion_time(k)).collect();
+        let times_b: Vec<_> = keys_b.iter().map(|&k| b.completion_time(k)).collect();
+        assert_eq!(times_a, times_b);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn obs_records_device_tracks_and_fleet_counters() {
+        let (obs, rec) = Obs::recording();
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.faults = vec![FaultSpec {
+            at: SimTime::from_us(5),
+            device: 1,
+            kind: FaultKind::Kill,
+        }];
+        let mut fleet = ClusterHandle::new(cfg).unwrap();
+        fleet.attach_obs(obs);
+        let (_, mut fleet) = {
+            let keys: Vec<u64> = (0..16).map(|_| fleet.submit(task()).unwrap()).collect();
+            fleet.wait_all();
+            (keys, fleet)
+        };
+        let rep = fleet.report();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::ClusterPlacements), rep.placements);
+        assert_eq!(snap.counter(Counter::ClusterDeviceKills), 1);
+        assert_eq!(snap.counter(Counter::ClusterResubmits), rep.resubmits);
+        assert!(
+            snap.devices.iter().any(|s| s.device == 1 && !s.alive),
+            "kill must be visible on the device track"
+        );
+        assert!(snap.devices.iter().any(|s| s.device == 0 && s.alive));
+        // Every task got a Spawned and a Freed span edge under its key.
+        for key in 0..16u64 {
+            let tl = snap.task_timeline(key);
+            assert!(tl[0].is_some(), "task {key} has no Spawned event");
+            assert!(tl[4].is_some(), "task {key} has no Freed event");
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(matches!(
+            ClusterHandle::new(ClusterConfig::uniform(0)),
+            Err(ClusterError::NoDevices)
+        ));
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.faults = vec![FaultSpec {
+            at: SimTime::ZERO,
+            device: 5,
+            kind: FaultKind::Kill,
+        }];
+        assert!(matches!(
+            ClusterHandle::new(cfg),
+            Err(ClusterError::BadFault { .. })
+        ));
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.faults = vec![FaultSpec {
+            at: SimTime::ZERO,
+            device: 0,
+            kind: FaultKind::Slow { factor: 0.5 },
+        }];
+        assert!(matches!(
+            ClusterHandle::new(cfg),
+            Err(ClusterError::BadFault { .. })
+        ));
+    }
+
+    #[test]
+    fn serve_fleet_round_trips_a_tenant_mix() {
+        use pagoda_serve::{Policy, TenantSpec};
+        use workloads::Bench;
+
+        let video = TenantSpec::new("video", Bench::Dct, 4.0e5);
+        let crypto = TenantSpec::new("crypto", Bench::Des3, 8.0e5);
+        let mut cfg = ServeConfig::new(vec![video, crypto], Policy::Fifo);
+        cfg.tasks_per_tenant = 24;
+        let mut fleet = ClusterHandle::new(ClusterConfig::uniform(2)).unwrap();
+        let (out, rep) = serve_fleet(&cfg, &mut fleet).unwrap();
+        let offered: u64 = out.report.tenants.iter().map(|t| t.offered).sum();
+        assert_eq!(offered, 48);
+        assert_eq!(rep.completed, rep.placements - rep.resubmits);
+        assert!(rep.completed > 0);
+        assert_eq!(rep.tasks_lost, 0);
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.spawn_us.is_none() || r.spawn_us.is_some()));
+    }
+}

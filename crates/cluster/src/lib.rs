@@ -1,0 +1,63 @@
+//! **pagoda-cluster** — multi-GPU fleet virtualization for the Pagoda
+//! runtime.
+//!
+//! The paper virtualizes *one* GPU: a MasterKernel turns the device into
+//! a warp-granularity task pool behind a 48×32 TaskTable. A deployment
+//! that outgrows one device faces the next layer of the same problem —
+//! narrow tasks now have to be *routed* across several pools, each with
+//! its own PCIe link, spawn pipeline, and admission capacity, and the
+//! fleet has to keep serving when a device dies or degrades. This crate
+//! supplies that layer for the simulated runtime:
+//!
+//! * [`placement`] — routing policies over per-device load views:
+//!   round-robin, least-outstanding, power-of-two-choices sampling, and
+//!   tenant affinity. Every policy accounts placements against a
+//!   tenant's *home* device set; landing elsewhere pays a modeled
+//!   inter-device staging transfer over [`ClusterConfig::interconnect`].
+//! * [`fleet`] — [`ClusterHandle`], N independent [`PagodaRuntime`]
+//!   instances stepped in lockstep under one fleet clock
+//!   ([`desim::ClockMap`] absorbs per-device slowdowns), exposing the
+//!   same `submit`/`wait`/`capacity` shape as a single runtime but with
+//!   fleet-unique `u64` task keys.
+//! * [`config`] — fleet topology, fault schedule ([`FaultSpec`]: kill or
+//!   slow a device at a simulated instant) and the [`RetryPolicy`]
+//!   deciding whether in-flight tasks stranded by a kill are failed or
+//!   resubmitted elsewhere.
+//!
+//! The fleet integrates upward with `pagoda-serve` (it implements
+//! [`pagoda_serve::ServeBackend`], so [`pagoda_serve::serve_on`] — or the
+//! [`serve_fleet`] convenience wrapper — dispatches a multi-tenant open
+//! stream across devices) and with `pagoda-obs` (per-device
+//! [`pagoda_obs::DeviceSample`] tracks plus `cluster_*` fleet counters).
+//!
+//! Determinism carries through from the substrate: same
+//! [`ClusterConfig`] (including seed and fault schedule) ⇒ identical
+//! placement sequences, completion times, and per-device
+//! [`desim::EngineStats`].
+//!
+//! [`PagodaRuntime`]: pagoda_core::PagodaRuntime
+//!
+//! # Example
+//!
+//! ```
+//! use pagoda_cluster::{ClusterConfig, ClusterHandle};
+//! use pagoda_core::TaskDesc;
+//!
+//! let mut fleet = ClusterHandle::new(ClusterConfig::uniform(2)).unwrap();
+//! let work = gpu_sim::WarpWork::compute(20_000, 8.0);
+//! let key = fleet.submit(TaskDesc::uniform(64, work)).unwrap();
+//! fleet.wait(key).unwrap();
+//! assert_eq!(fleet.report().completed, 1);
+//! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod config;
+pub mod error;
+pub mod fleet;
+pub mod placement;
+
+pub use config::{ClusterConfig, FaultKind, FaultSpec, RetryPolicy};
+pub use error::ClusterError;
+pub use fleet::{serve_fleet, ClusterHandle, DeviceReport, FleetReport, TaskStatus};
+pub use placement::{DeviceView, Placement, Placer};

@@ -74,8 +74,6 @@ pub mod warptable;
 
 pub use config::{ConfigError, PagodaConfig, PagodaConfigBuilder};
 pub use errors::{Capacity, PagodaError, SubmitError};
-#[allow(deprecated)]
-pub use runtime::TrySpawnError;
 pub use runtime::{PagodaRuntime, RunReport};
 pub use table::{EntryIndex, EntryState, Ready, TaskId};
 pub use task::{TaskDesc, TaskError, MAX_THREADS_PER_TASK_TB};

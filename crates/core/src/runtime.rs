@@ -69,7 +69,7 @@ enum HostEv {
 struct TaskRecord {
     desc: TaskDesc,
     entry: EntryIndex,
-    /// Host time of the `task_spawn` call.
+    /// Host time of the `submit` call.
     spawn_time: SimTime,
     /// Executor-warp completions so far.
     warps_done: u32,
@@ -113,10 +113,6 @@ pub struct RunReport {
     /// Average per-SMM busy time (≥1 warp running).
     pub gpu_busy: Dur,
 }
-
-/// Former name of [`SubmitError`], kept for source compatibility.
-#[deprecated(since = "0.3.0", note = "renamed to SubmitError")]
-pub type TrySpawnError = SubmitError;
 
 /// The runtime. Create one per workload run; drive it with the Table 1
 /// API; read a [`RunReport`] at the end.
@@ -272,34 +268,6 @@ impl PagodaRuntime {
         }
     }
 
-    /// Blocking `taskSpawn`: like [`PagodaRuntime::submit`] but when the
-    /// table is full it performs the lazy aggregate copy-back of §4.2.2
-    /// (and timeout-paced retries) until an entry frees.
-    ///
-    /// Deprecated: call [`PagodaRuntime::submit`] and drive the
-    /// `sync_table`/`advance_to` retry loop explicitly. Note one timing
-    /// difference retained for compatibility: this method charges
-    /// `spawn_cpu_cost` *before* probing the table, `submit` after.
-    #[deprecated(since = "0.3.0", note = "use submit() with an explicit retry loop")]
-    pub fn task_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, TaskError> {
-        self.validate_for_device(&desc)?;
-        self.host_advance(self.cfg.spawn_cpu_cost);
-        let entry = self.acquire_entry();
-        Ok(self.spawn_at(entry, desc))
-    }
-
-    /// Former name of [`PagodaRuntime::submit`].
-    #[deprecated(since = "0.3.0", note = "renamed to submit()")]
-    pub fn try_spawn(&mut self, desc: TaskDesc) -> Result<TaskId, SubmitError> {
-        self.submit(desc)
-    }
-
-    /// Former shape of [`PagodaRuntime::capacity`].
-    #[deprecated(since = "0.3.0", note = "use capacity().known_free")]
-    pub fn spawn_capacity(&self) -> u32 {
-        self.capacity().known_free
-    }
-
     /// Refreshes the CPU's view of the TaskTable: flushes the spawn
     /// chain's tail if needed, then performs the aggregate D2H copy-back
     /// of §4.2.2. Costs the simulated bus time of both transfers and
@@ -346,8 +314,8 @@ impl PagodaRuntime {
         Ok(())
     }
 
-    /// The claim-and-copy spawn body shared by `task_spawn` and
-    /// `try_spawn`; `entry` must be free in the CPU view.
+    /// The claim-and-copy spawn body behind [`PagodaRuntime::submit`];
+    /// `entry` must be free in the CPU view.
     fn spawn_at(&mut self, entry: EntryIndex, desc: TaskDesc) -> TaskId {
         let id = TaskId(TaskId::FIRST.0 + self.tasks.len() as u64);
 
@@ -597,35 +565,14 @@ impl PagodaRuntime {
         self.device.schedule_host(at, tag);
     }
 
-    /// Finds a free CPU-side entry, forcing aggregate copy-backs (and
-    /// eventually timeouts) while the table is full.
+    /// One non-blocking pass of the round-robin column scan; claims
+    /// nothing, just locates a CPU-side free entry and advances the
+    /// cursor past its column.
     ///
     /// Consecutive spawns round-robin across *columns* so the load (and
     /// the ready chain's links) spreads over all 48 MTB schedulers; piling
     /// a burst into one column would serialize the whole pipeline behind
     /// that single MTB's executor capacity.
-    fn acquire_entry(&mut self) -> EntryIndex {
-        let mut iterations = 0u64;
-        loop {
-            if let Some(e) = self.find_free_entry() {
-                return e;
-            }
-            // Table full: the spawner must learn what the GPU freed
-            // (§4.2.2 lazy aggregate update). A full table also means the
-            // chain tail may be blocking everything — flush it.
-            self.flush_last();
-            self.copyback_all();
-            if self.cpu_table.free_entries() == 0 {
-                self.host_advance(self.cfg.wait_timeout);
-            }
-            iterations += 1;
-            assert!(iterations < 100_000_000, "task table livelocked");
-        }
-    }
-
-    /// One non-blocking pass of the round-robin column scan; claims
-    /// nothing, just locates a CPU-side free entry and advances the
-    /// cursor past its column.
     fn find_free_entry(&mut self) -> Option<EntryIndex> {
         let cols = self.gpu_table.cols();
         let rows = self.cfg.rows_per_column;
@@ -1212,29 +1159,6 @@ mod tests {
             Err(SubmitError::Invalid(TaskError::ShapeMismatch)) => {}
             other => panic!("expected Invalid(ShapeMismatch), got {other:?}"),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_submit_timeline() {
-        // The deprecated entry points must produce the same simulation as
-        // `submit` while the table has room.
-        let mut a = PagodaRuntime::titan_x();
-        let mut b = PagodaRuntime::titan_x();
-        let mut c = PagodaRuntime::titan_x();
-        for _ in 0..64 {
-            a.task_spawn(tiny_task()).unwrap();
-            b.submit(tiny_task()).unwrap();
-            c.try_spawn(tiny_task()).unwrap();
-        }
-        assert_eq!(a.spawn_capacity(), a.capacity().known_free);
-        a.wait_all();
-        b.wait_all();
-        c.wait_all();
-        let (ra, rb, rc) = (a.report(), b.report(), c.report());
-        assert_eq!(ra.makespan, rb.makespan);
-        assert_eq!(ra.tasks, rb.tasks);
-        assert_eq!(rb.makespan, rc.makespan);
     }
 
     #[test]

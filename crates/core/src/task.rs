@@ -40,7 +40,7 @@ pub struct TaskDesc {
     pub cpu_ops: u64,
 }
 
-/// Why a task description is rejected by `task_spawn`.
+/// Why a task description is rejected by `submit`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskError {
     /// Threadblock larger than the 31 executor warps of an MTB.

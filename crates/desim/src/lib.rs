@@ -27,8 +27,10 @@
 //! the GPU warp engine, which must invalidate predicted completion events
 //! whenever the resident-warp set of an SMM changes.
 
+mod sync;
 mod time;
 
+pub use sync::ClockMap;
 pub use time::{Dur, SimTime};
 
 use std::cmp::Reverse;

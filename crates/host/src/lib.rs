@@ -162,6 +162,14 @@ impl HostPagoda {
         TaskHandle { done }
     }
 
+    /// Unified spawn name: the simulated `pagoda-core` runtime, the
+    /// fleet-level `pagoda-cluster` handle, and this native executor all
+    /// expose `submit` as the one spawn entry point; this is an alias of
+    /// [`HostPagoda::spawn`] for call sites written against that shape.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> TaskHandle {
+        self.spawn(job)
+    }
+
     /// Blocks until `handle`'s task completes (the paper's `wait`).
     pub fn wait(&self, handle: &TaskHandle) {
         let mut guard = self.shared.idle_lock.lock();
@@ -260,6 +268,20 @@ mod tests {
         rt.wait_all();
         assert_eq!(count.load(Ordering::Relaxed), 10_000);
         assert_eq!(rt.panicked_tasks(), 0);
+    }
+
+    #[test]
+    fn submit_is_spawn() {
+        let rt = HostPagoda::new(2, 4);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let c = Arc::clone(&count);
+            rt.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.wait_all();
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
     #[test]

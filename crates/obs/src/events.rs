@@ -114,6 +114,23 @@ pub struct MtbSample {
     pub used_entries: u32,
 }
 
+/// Per-device fleet snapshot, taken by a cluster layer when a device's
+/// outstanding-task count or liveness changes. `device` indexes the
+/// fleet, not an SMM — one simulated GPU per sample stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceSample {
+    /// Simulation instant (fleet clock), picoseconds.
+    pub at_ps: u64,
+    /// Device index within the fleet.
+    pub device: u32,
+    /// TaskTable entries free in the fleet manager's view of the device.
+    pub known_free: u32,
+    /// Cluster tasks in flight on the device.
+    pub outstanding: u32,
+    /// Whether the device is serving (false once killed).
+    pub alive: bool,
+}
+
 /// Monotonic counters. Each increments by an arbitrary delta; recorders
 /// accumulate totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -148,11 +165,24 @@ pub enum Counter {
     TasksFreed,
     /// Native kernel launches (baselines).
     KernelLaunches,
+    /// Cluster-layer task placements (every routed submit).
+    ClusterPlacements,
+    /// Placements that landed off the tenant's home device set (paid the
+    /// modeled inter-device staging transfer).
+    ClusterOffAffinity,
+    /// Tasks resubmitted to another device after their device died.
+    ClusterResubmits,
+    /// Tasks lost to a device failure (reported failed, not resubmitted).
+    ClusterTasksLost,
+    /// Device kill faults applied.
+    ClusterDeviceKills,
+    /// Device slowdown faults applied.
+    ClusterDeviceSlowdowns,
 }
 
 impl Counter {
     /// All counters, declaration order. `Counter as usize` indexes this.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 21] = [
         Counter::PcieH2dTransactions,
         Counter::PcieD2hTransactions,
         Counter::PcieH2dBytes,
@@ -168,6 +198,12 @@ impl Counter {
         Counter::TasksSpawned,
         Counter::TasksFreed,
         Counter::KernelLaunches,
+        Counter::ClusterPlacements,
+        Counter::ClusterOffAffinity,
+        Counter::ClusterResubmits,
+        Counter::ClusterTasksLost,
+        Counter::ClusterDeviceKills,
+        Counter::ClusterDeviceSlowdowns,
     ];
 
     /// Stable snake_case name (used as JSON/CSV keys).
@@ -188,6 +224,12 @@ impl Counter {
             Counter::TasksSpawned => "tasks_spawned",
             Counter::TasksFreed => "tasks_freed",
             Counter::KernelLaunches => "kernel_launches",
+            Counter::ClusterPlacements => "cluster_placements",
+            Counter::ClusterOffAffinity => "cluster_off_affinity",
+            Counter::ClusterResubmits => "cluster_resubmits",
+            Counter::ClusterTasksLost => "cluster_tasks_lost",
+            Counter::ClusterDeviceKills => "cluster_device_kills",
+            Counter::ClusterDeviceSlowdowns => "cluster_device_slowdowns",
         }
     }
 }

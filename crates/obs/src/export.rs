@@ -45,6 +45,9 @@ fn phase_name(state: TaskState) -> &'static str {
 ///   free smem KiB, and free TB slots.
 /// * **pid 3 — "MTB occupancy"**: one counter track per MTB (`C` events,
 ///   name `mtb<N>`) with free warp slots, free smem KiB, used entries.
+/// * **pid 4 — "fleet devices"**: one counter track per simulated device
+///   (`C` events, name `dev<N>`) with known-free TaskTable entries,
+///   outstanding cluster tasks, and liveness (1/0).
 ///
 /// Events are emitted one per line, sorted by timestamp, so every track
 /// is monotone in `ts`.
@@ -121,13 +124,30 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
         ));
     }
 
+    // Per-fleet-device counter tracks.
+    for s in &buf.devices {
+        events.push((
+            s.at_ps,
+            format!(
+                r#"{{"name":"dev{}","ph":"C","ts":{},"pid":4,"tid":{},"args":{{"known_free":{},"outstanding":{},"alive":{}}}}}"#,
+                s.device,
+                us(s.at_ps),
+                s.device,
+                s.known_free,
+                s.outstanding,
+                u32::from(s.alive)
+            ),
+        ));
+    }
+
     events.sort_by_key(|(ts, _)| *ts);
 
     writeln!(w, "{{\"traceEvents\":[")?;
     w.write_all(
         br#"{"name":"process_name","ph":"M","pid":1,"args":{"name":"tasks"}},
 {"name":"process_name","ph":"M","pid":2,"args":{"name":"SMM resources"}},
-{"name":"process_name","ph":"M","pid":3,"args":{"name":"MTB occupancy"}}"#,
+{"name":"process_name","ph":"M","pid":3,"args":{"name":"MTB occupancy"}},
+{"name":"process_name","ph":"M","pid":4,"args":{"name":"fleet devices"}}"#,
     )?;
     for (_, line) in &events {
         writeln!(w, ",")?;
@@ -174,6 +194,24 @@ pub fn write_mtb_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes the per-fleet-device samples as CSV (`at_ps,device,known_free,
+/// outstanding,alive`).
+pub fn write_device_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
+    writeln!(w, "at_ps,device,known_free,outstanding,alive")?;
+    for s in &buf.devices {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            s.at_ps,
+            s.device,
+            s.known_free,
+            s.outstanding,
+            u32::from(s.alive)
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes the task lifecycle events as CSV (`at_ps,task,state`).
 pub fn write_task_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
     writeln!(w, "at_ps,task,state")?;
@@ -200,6 +238,8 @@ pub struct ObsSummary {
     pub smm_samples: u64,
     /// Number of per-MTB samples taken.
     pub mtb_samples: u64,
+    /// Number of per-fleet-device samples taken.
+    pub device_samples: u64,
     /// Final counter totals (all counters, zeros included).
     pub counters: BTreeMap<String, u64>,
 }
@@ -238,6 +278,7 @@ pub fn summarize(buf: &ObsBuffer) -> ObsSummary {
         max_spawn_to_running_ps: lat_max,
         smm_samples: buf.smm.len() as u64,
         mtb_samples: buf.mtb.len() as u64,
+        device_samples: buf.devices.len() as u64,
         counters: buf.counters.clone(),
     }
 }
@@ -386,7 +427,7 @@ pub fn check_json(s: &str) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::recorder::Obs;
-    use crate::{Counter, SmmSample};
+    use crate::{Counter, DeviceSample, SmmSample};
 
     fn sample_buffer() -> ObsBuffer {
         let (obs, rec) = Obs::recording();
@@ -410,6 +451,15 @@ mod tests {
                 free_tb_slots: 32 - i as u32,
             });
         }
+        for i in 0..4u64 {
+            obs.device(DeviceSample {
+                at_ps: 700 * i,
+                device: (i % 2) as u32,
+                known_free: 64 - i as u32,
+                outstanding: i as u32,
+                alive: i < 3,
+            });
+        }
         obs.count(Counter::PcieH2dTransactions, 12);
         rec.snapshot()
     }
@@ -422,6 +472,8 @@ mod tests {
         check_json(&s).unwrap();
         assert!(s.contains("\"ph\":\"C\""), "no counter tracks: {s}");
         assert!(s.contains("\"ph\":\"X\""), "no span events: {s}");
+        assert!(s.contains("\"name\":\"dev1\""), "no device tracks: {s}");
+        assert!(s.contains("fleet devices"), "no fleet process name: {s}");
     }
 
     #[test]
@@ -467,6 +519,12 @@ mod tests {
         let s = String::from_utf8(out).unwrap();
         assert_eq!(s.lines().count(), 1 + buf.tasks.len());
         assert!(s.contains(",spawned"));
+
+        let mut out = Vec::new();
+        write_device_csv(&buf, &mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("at_ps,device,"));
+        assert_eq!(s.lines().count(), 1 + buf.devices.len());
     }
 
     #[test]
@@ -478,6 +536,7 @@ mod tests {
         assert_eq!(sum.complete_spans, 4);
         assert_eq!(sum.mean_spawn_to_running_ps, 300);
         assert_eq!(sum.max_spawn_to_running_ps, 300);
+        assert_eq!(sum.device_samples, 4);
         assert_eq!(sum.counters["pcie_h2d_transactions"], 12);
         let mut out = Vec::new();
         write_json_summary(&buf, &mut out).unwrap();

@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
-use crate::events::{Counter, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
+use crate::events::{Counter, DeviceSample, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
 
 /// A sink for observability events. All methods take `&self` (recorders
 /// are shared behind an `Arc` across the host runtime, the device model,
@@ -38,6 +38,11 @@ pub trait Recorder {
 
     /// An MTB's column/WarpTable/smem-pool occupancy changed.
     fn mtb(&self, s: MtbSample) {
+        let _ = s;
+    }
+
+    /// A fleet device's outstanding-task count or liveness changed.
+    fn device(&self, s: DeviceSample) {
         let _ = s;
     }
 
@@ -82,6 +87,8 @@ pub struct ObsBuffer {
     pub smm: Vec<SmmSample>,
     /// Per-MTB occupancy samples.
     pub mtb: Vec<MtbSample>,
+    /// Per-fleet-device samples (cluster layer).
+    pub devices: Vec<DeviceSample>,
     /// Final counter totals, keyed by [`Counter::name`]. Every counter is
     /// present (zeros included) so the layout is run-independent.
     pub counters: BTreeMap<String, u64>,
@@ -118,6 +125,7 @@ struct MemInner {
     tenants: Vec<TenantTag>,
     smm: Vec<SmmSample>,
     mtb: Vec<MtbSample>,
+    devices: Vec<DeviceSample>,
     counts: [u64; Counter::ALL.len()],
 }
 
@@ -148,6 +156,7 @@ impl MemRecorder {
             tenants: g.tenants.clone(),
             smm: g.smm.clone(),
             mtb: g.mtb.clone(),
+            devices: g.devices.clone(),
             counters,
         }
     }
@@ -200,6 +209,14 @@ impl Recorder for MemRecorder {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .mtb
+            .push(s);
+    }
+
+    fn device(&self, s: DeviceSample) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .devices
             .push(s);
     }
 
@@ -291,6 +308,14 @@ impl Obs {
         }
     }
 
+    /// Records a per-fleet-device sample.
+    #[inline]
+    pub fn device(&self, s: DeviceSample) {
+        if let Some(r) = &self.rec {
+            r.device(s);
+        }
+    }
+
     /// Advances counter `c` by `delta`.
     #[inline]
     pub fn count(&self, c: Counter, delta: u64) {
@@ -352,6 +377,24 @@ mod tests {
         assert_eq!(tl[TaskState::Spawned as usize], Some(10));
         assert_eq!(tl[TaskState::Enqueued as usize], None);
         assert_eq!(tl[TaskState::Running as usize], Some(30));
+    }
+
+    #[test]
+    fn device_samples_buffer_in_order() {
+        use crate::events::DeviceSample;
+        let (obs, rec) = Obs::recording();
+        for i in 0..3u32 {
+            obs.device(DeviceSample {
+                at_ps: u64::from(i) * 5,
+                device: i,
+                known_free: 10,
+                outstanding: i,
+                alive: true,
+            });
+        }
+        let buf = rec.snapshot();
+        assert_eq!(buf.devices.len(), 3);
+        assert_eq!(buf.devices[2].device, 2);
     }
 
     #[test]

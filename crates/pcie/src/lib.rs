@@ -61,6 +61,21 @@ pub struct PcieConfig {
     pub bw_d2h: f64,
 }
 
+impl PcieConfig {
+    /// Time a `bytes`-byte transfer in `dir` occupies the link, ignoring
+    /// queueing: the per-transaction latency plus wire time. Pure — needs
+    /// no [`PcieBus`] — so layers that only *model* a link (e.g. a fleet
+    /// manager charging an inter-device staging cost) can price transfers
+    /// from the config alone.
+    pub fn transfer_time(&self, dir: Direction, bytes: u64) -> Dur {
+        let bw = match dir {
+            Direction::HostToDevice => self.bw_h2d,
+            Direction::DeviceToHost => self.bw_d2h,
+        };
+        self.latency + Dur::from_secs_f64(bytes as f64 / bw)
+    }
+}
+
 impl Default for PcieConfig {
     /// PCIe 3.0 x16 as on the paper's testbed class of machine: ~12 GB/s
     /// sustained each way. The per-transaction overhead models *pipelined*
@@ -166,12 +181,7 @@ impl PcieBus {
             .copied()
             .unwrap_or(SimTime::ZERO);
         let start = now.max(self.channel_free[ch]).max(tail);
-        let bw = match dir {
-            Direction::HostToDevice => self.cfg.bw_h2d,
-            Direction::DeviceToHost => self.cfg.bw_d2h,
-        };
-        let wire = Dur::from_secs_f64(bytes as f64 / bw);
-        let occupied = self.cfg.latency + wire;
+        let occupied = self.cfg.transfer_time(dir, bytes);
         let complete = start + occupied;
 
         self.channel_free[ch] = complete;
@@ -209,13 +219,10 @@ impl PcieBus {
     }
 
     /// Time a `bytes`-byte transfer would occupy the wire, ignoring queueing
-    /// — used by runtimes to budget aggregation decisions.
+    /// — used by runtimes to budget aggregation decisions. Delegates to
+    /// [`PcieConfig::transfer_time`].
     pub fn service_time(&self, dir: Direction, bytes: u64) -> Dur {
-        let bw = match dir {
-            Direction::HostToDevice => self.cfg.bw_h2d,
-            Direction::DeviceToHost => self.cfg.bw_d2h,
-        };
-        self.cfg.latency + Dur::from_secs_f64(bytes as f64 / bw)
+        self.cfg.transfer_time(dir, bytes)
     }
 }
 

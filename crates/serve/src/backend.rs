@@ -1,0 +1,135 @@
+//! The [`ServeBackend`] trait: what the serving loop needs from whatever
+//! executes its tasks.
+//!
+//! [`serve`](crate::serve) was written against one [`PagodaRuntime`]; a
+//! fleet manager (`pagoda-cluster`) wants to put N of them behind the
+//! same front-end. The loop only ever touches a narrow slice of the
+//! runtime — non-blocking submit, capacity probe, completion observation,
+//! clock control — so that slice is a trait, and
+//! [`serve_on`](crate::server::serve_on) drives any implementor. Task
+//! keys are plain `u64`s: a single runtime uses its `TaskId` values, a
+//! cluster uses fleet-unique ids that never collide across devices.
+
+use desim::{Dur, SimTime};
+use pagoda_core::trace::TaskTrace;
+use pagoda_core::{Capacity, PagodaRuntime, SubmitError, TaskDesc, TaskId};
+
+/// The executor surface behind the serving loop. All simulated time is
+/// the backend's own clock ([`ServeBackend::now`]); implementations must
+/// be deterministic for the records-are-byte-identical contract to hold.
+pub trait ServeBackend {
+    /// Non-blocking spawn of `desc` on behalf of `tenant` (a routing
+    /// hint; a single runtime ignores it). Returns a backend-unique task
+    /// key, or hands the descriptor back via [`SubmitError::Full`].
+    fn submit(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError>;
+
+    /// Admission headroom in the backend's current view.
+    fn capacity(&self) -> Capacity;
+
+    /// Whether the completion of `key` has been observed host-side.
+    ///
+    /// # Panics
+    /// May panic if `key` was not issued by this backend.
+    fn observed_done(&self, key: u64) -> bool;
+
+    /// When `key`'s output landed in host memory; `None` until its
+    /// completion has been observed.
+    fn completion_time(&self, key: u64) -> Option<SimTime>;
+
+    /// The backend's current clock.
+    fn now(&self) -> SimTime;
+
+    /// Idles the backend to `t` (no-op if in the past), co-simulating
+    /// whatever it owns up to that instant.
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Refreshes the host view of completions (the §4.2.2 aggregate
+    /// copy-back, fleet-wide for a cluster). Costs simulated time.
+    fn sync(&mut self);
+
+    /// The polling slice the loop idles for when blocked on capacity.
+    fn wait_timeout(&self) -> Dur;
+
+    /// Mean fraction of device warp slots doing useful work so far.
+    fn warp_occupancy(&mut self) -> f64;
+
+    /// Runtime-level timelines of spawned tasks, in spawn order. May be
+    /// empty for backends whose task keys do not map to one runtime's
+    /// trace ids (a cluster exports per-device timelines via `pagoda-obs`
+    /// instead).
+    fn traces(&self) -> Vec<TaskTrace>;
+}
+
+impl ServeBackend for PagodaRuntime {
+    fn submit(&mut self, _tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
+        PagodaRuntime::submit(self, desc).map(|id| id.0)
+    }
+
+    fn capacity(&self) -> Capacity {
+        PagodaRuntime::capacity(self)
+    }
+
+    fn observed_done(&self, key: u64) -> bool {
+        PagodaRuntime::observed_done(self, TaskId(key))
+            .expect("invariant: serve loop only passes keys this runtime issued")
+    }
+
+    fn completion_time(&self, key: u64) -> Option<SimTime> {
+        self.trace(TaskId(key))
+            .expect("invariant: serve loop only passes keys this runtime issued")
+            .output_done
+    }
+
+    fn now(&self) -> SimTime {
+        self.host_now()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        PagodaRuntime::advance_to(self, t);
+    }
+
+    fn sync(&mut self) {
+        self.sync_table();
+    }
+
+    fn wait_timeout(&self) -> Dur {
+        self.config().wait_timeout
+    }
+
+    fn warp_occupancy(&mut self) -> f64 {
+        self.report().avg_running_occupancy
+    }
+
+    fn traces(&self) -> Vec<TaskTrace> {
+        PagodaRuntime::traces(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WarpWork;
+
+    #[test]
+    fn runtime_backend_round_trips_a_task() {
+        let mut rt = PagodaRuntime::titan_x();
+        let b: &mut dyn ServeBackend = &mut rt;
+        assert!(b.capacity().has_room());
+        let key = b
+            .submit(0, TaskDesc::uniform(64, WarpWork::compute(10_000, 8.0)))
+            .expect("empty table accepts");
+        assert!(!b.observed_done(key));
+        assert_eq!(b.completion_time(key), None);
+        let mut guard = 0;
+        while !b.observed_done(key) {
+            b.sync();
+            let t = b.now() + b.wait_timeout();
+            b.advance_to(t);
+            guard += 1;
+            assert!(guard < 10_000, "task never completed");
+        }
+        let done = b.completion_time(key).expect("observed done has a time");
+        assert!(done <= b.now());
+        assert_eq!(b.traces().len(), 1);
+    }
+}

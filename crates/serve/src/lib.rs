@@ -53,6 +53,7 @@
 
 pub mod admission;
 pub mod arrival;
+pub mod backend;
 pub mod error;
 pub mod metrics;
 pub mod qos;
@@ -60,9 +61,11 @@ pub mod server;
 
 pub use admission::Admission;
 pub use arrival::{ArrivalGen, ArrivalSpec};
+pub use backend::ServeBackend;
 pub use error::ServeError;
 pub use metrics::{percentile, Outcome, ServeReport, TaskRecord, TenantReport};
 pub use qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
 pub use server::{
-    calibrate_capacity, serve, serving_slice, Policy, ServeConfig, ServeOutcome, TenantSpec,
+    calibrate_capacity, serve, serve_on, serving_slice, Policy, ServeConfig, ServeOutcome,
+    TenantSpec,
 };

@@ -22,12 +22,13 @@
 
 use desim::Dur;
 use pagoda_core::trace::TaskTrace;
-use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc, TaskId};
+use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc};
 use pagoda_obs::{Counter, Obs};
 use workloads::{Bench, GenOpts};
 
 use crate::admission::Admission;
 use crate::arrival::{ArrivalGen, ArrivalSpec};
+use crate::backend::ServeBackend;
 use crate::error::ServeError;
 use crate::metrics::{tenant_report, Outcome, ServeReport, TaskRecord};
 use crate::qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
@@ -171,7 +172,7 @@ struct Arrival {
 }
 
 struct InFlight {
-    id: TaskId,
+    key: u64,
     seq: usize,
     tenant: usize,
     arrival: desim::SimTime,
@@ -191,12 +192,31 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         return Err(ServeError::NoTenants);
     }
     cfg.runtime.validate()?;
-    let nt = cfg.tenants.len();
     let mut rt = PagodaRuntime::new(cfg.runtime.clone());
     rt.attach_obs(cfg.obs.clone());
+    serve_on(cfg, &mut rt)
+}
+
+/// [`serve`] over any [`ServeBackend`] — the same admission/QoS/dispatch
+/// loop, executing on `rt` instead of a freshly built single runtime.
+/// `cfg.runtime` is ignored (the backend brings its own devices); the
+/// caller is responsible for attaching `cfg.obs` to the backend if it
+/// wants runtime-level events recorded alongside the serving counters.
+///
+/// # Errors
+/// [`ServeError::NoTenants`] on an empty tenant list and
+/// [`ServeError::UnspawnableTask`] if a workload produces an invalid
+/// [`TaskDesc`].
+pub fn serve_on<B: ServeBackend + ?Sized>(
+    cfg: &ServeConfig,
+    rt: &mut B,
+) -> Result<ServeOutcome, ServeError> {
+    if cfg.tenants.is_empty() {
+        return Err(ServeError::NoTenants);
+    }
+    let nt = cfg.tenants.len();
     let obs = cfg.obs.clone();
-    let total_entries = f64::from(rt.config().total_entries());
-    let wait_timeout = rt.config().wait_timeout;
+    let wait_timeout = rt.wait_timeout();
 
     // ---- client side: pre-generate every tenant's timeline -----------
     let mut all: Vec<Arrival> = Vec::with_capacity(nt * cfg.tasks_per_tenant);
@@ -233,7 +253,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
 
     loop {
         // 1. Admit (or shed) every arrival that is due.
-        while next_arr < all.len() && all[next_arr].at <= rt.host_now() {
+        while next_arr < all.len() && all[next_arr].at <= rt.now() {
             let a = &all[next_arr];
             let admitted = admission.offer(a.tenant);
             obs.count(
@@ -281,19 +301,19 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                 desc,
             } = qt;
             admission.on_dequeue(tenant);
-            if cfg.cancel_late && deadline.is_some_and(|d| d < rt.host_now()) {
+            if cfg.cancel_late && deadline.is_some_and(|d| d < rt.now()) {
                 expired[tenant] += 1;
                 let r = &mut records[seq as usize];
                 r.outcome = Outcome::Expired;
                 r.deadline_missed = true;
                 continue;
             }
-            match rt.submit(desc) {
-                Ok(id) => {
-                    records[seq as usize].spawn_us = Some(rt.host_now().as_us_f64());
-                    obs.tenant(id.0, tenant as u32);
+            match rt.submit(tenant as u32, desc) {
+                Ok(key) => {
+                    records[seq as usize].spawn_us = Some(rt.now().as_us_f64());
+                    obs.tenant(key, tenant as u32);
                     in_flight.push(InFlight {
-                        id,
+                        key,
                         seq: seq as usize,
                         tenant,
                         arrival,
@@ -317,21 +337,17 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
                 }
             }
         }
-        occ_sum += 1.0 - f64::from(rt.capacity().known_free) / total_entries;
+        let cap = rt.capacity();
+        occ_sum += 1.0 - f64::from(cap.known_free) / f64::from(cap.total.max(1));
         occ_rounds += 1;
 
         // 3. Retire completions the host has observed via copy-backs.
         in_flight.retain(|f| {
-            if !rt
-                .observed_done(f.id)
-                .expect("invariant: in-flight ids were issued by this runtime")
-            {
+            if !rt.observed_done(f.key) {
                 return true;
             }
             let done = rt
-                .trace(f.id)
-                .expect("invariant: in-flight ids were issued by this runtime")
-                .output_done
+                .completion_time(f.key)
                 .expect("invariant: observed-done task has an output time");
             let sojourn = (done - f.arrival).as_us_f64();
             let r = &mut records[f.seq];
@@ -356,11 +372,12 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
             // the CPU's view (costs the aggregate copy-back's bus time)
             // and, if still stuck, idle one timeout slice — the same
             // pacing the runtime's own blocking spawn uses.
-            rt.sync_table();
+            rt.sync();
             let stuck_full = !rt.capacity().has_room() && !sched.is_empty();
             let draining = sched.is_empty() && !arrivals_left && !in_flight.is_empty();
             if stuck_full || draining {
-                rt.advance_to(rt.host_now() + wait_timeout);
+                let t = rt.now() + wait_timeout;
+                rt.advance_to(t);
             }
         } else if arrivals_left {
             // Idle: sleep until the next client submits.
@@ -374,7 +391,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     }));
 
     // ---- aggregate ---------------------------------------------------
-    let makespan = rt.host_now();
+    let makespan = rt.now();
     let completed: u64 = sojourns.iter().map(|s| s.len() as u64).sum();
     let tenants = cfg
         .tenants
@@ -402,7 +419,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
         makespan_us: makespan.as_us_f64(),
         throughput_per_s: completed as f64 / makespan.as_secs_f64().max(1e-12),
         avg_slot_occupancy: occ_sum / occ_rounds.max(1) as f64,
-        avg_warp_occupancy: rt.report().avg_running_occupancy,
+        avg_warp_occupancy: rt.warp_occupancy(),
         tenants,
     };
     Ok(ServeOutcome {

@@ -15,11 +15,42 @@
 //! per-SMM resource counter tracks (free warp slots, free smem, live
 //! table entries), captured through the `pagoda-obs` recorder.
 //!
-//! Run with `cargo run --release --example multi_tenant`.
+//! Run with `cargo run --release --example multi_tenant`. Two optional
+//! flags scale the scenario out:
+//!
+//! * `--devices N` — serve the same mix on an N-device
+//!   `pagoda-cluster` fleet (least-outstanding placement) instead of a
+//!   single runtime, and report the per-device fleet breakdown;
+//! * `--skew S` — reweight the tenants' arrival rates by a Zipf
+//!   distribution with exponent `S` (aggregate rate preserved), so the
+//!   head tenant dominates and the schedulers earn their keep.
 
 use pagoda::prelude::*;
 
 fn main() {
+    let mut devices = 1usize;
+    let mut skew = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--devices" => {
+                devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--devices needs a positive integer");
+                assert!(devices >= 1, "--devices needs a positive integer");
+            }
+            "--skew" => {
+                skew = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--skew needs a Zipf exponent (e.g. 1.2)");
+                assert!(skew >= 0.0, "--skew must be non-negative");
+            }
+            other => panic!("unknown argument {other} (try --devices N / --skew S)"),
+        }
+    }
+
     let mut packets = TenantSpec::new("packets", Bench::Des3, 5.0e5);
     packets.weight = 4;
     packets.deadline = Some(Dur::from_us(1_500));
@@ -39,16 +70,45 @@ fn main() {
     batch.weight = 1;
     batch.queue_cap = 16;
 
-    let mut cfg = ServeConfig::new(vec![packets, tiles, batch], Policy::WeightedFair);
+    let mut tenants = vec![packets, tiles, batch];
+    if skew > 0.0 {
+        // Zipf-reweight the mean rates by tenant rank, preserving the
+        // aggregate offered load: rank 1 takes the head of the curve.
+        let agg: f64 = tenants.iter().map(|t| t.arrival.mean_rate_per_s()).sum();
+        let weights: Vec<f64> = (1..=tenants.len())
+            .map(|r| 1.0 / (r as f64).powf(skew))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for (t, w) in tenants.iter_mut().zip(&weights) {
+            let target = agg * w / wsum;
+            t.arrival = t.arrival.scaled(target / t.arrival.mean_rate_per_s());
+        }
+    }
+
+    let mut cfg = ServeConfig::new(tenants, Policy::WeightedFair);
     cfg.tasks_per_tenant = 1024;
-    cfg.mix = "demo".into();
+    cfg.mix = if skew > 0.0 {
+        format!("demo-zipf{skew}")
+    } else {
+        "demo".into()
+    };
 
     // Record the whole stack — task lifecycles, admission counters,
     // per-SMM resource timelines — through one recorder.
     let (obs, recorder) = Obs::recording();
     cfg.obs = obs;
 
-    let out = serve(&cfg).expect("valid serving config");
+    let fleet_rep;
+    let out = if devices > 1 {
+        let mut fleet = ClusterHandle::new(ClusterConfig::uniform(devices))
+            .expect("uniform fleet config is valid");
+        let (out, rep) = serve_fleet(&cfg, &mut fleet).expect("valid serving config");
+        fleet_rep = Some(rep);
+        out
+    } else {
+        fleet_rep = None;
+        serve(&cfg).expect("valid serving config")
+    };
     let r = &out.report;
 
     println!(
@@ -82,6 +142,26 @@ fn main() {
             t.p95_sojourn_us,
             t.p99_sojourn_us
         );
+    }
+
+    if let Some(rep) = &fleet_rep {
+        println!(
+            "\nfleet of {}: {} placements ({} off-affinity), {} completed, warp occupancy {:.1}%",
+            rep.devices.len(),
+            rep.placements,
+            rep.off_affinity,
+            rep.completed,
+            100.0 * rep.avg_warp_occupancy
+        );
+        for d in &rep.devices {
+            println!(
+                "  device {}: spawned {:>6}  completed {:>6}  occupancy {:.1}%",
+                d.device,
+                d.spawned,
+                d.completed,
+                100.0 * d.avg_running_occupancy
+            );
+        }
     }
 
     let buf = recorder.snapshot();

@@ -33,6 +33,8 @@
 //! | [`workloads`] | the eight evaluation benchmarks + MPE |
 //! | [`pagoda_serve`] | multi-tenant serving: admission control + QoS |
 //! | [`pagoda_obs`] | cross-layer observability: spans, counters, exporters |
+//! | [`pagoda_cluster`] | multi-GPU fleets: routed placement + failover |
+//! | [`pagoda_host`] | ergonomic host-side handle over the runtime |
 //!
 //! ## Quickstart
 //!
@@ -71,7 +73,9 @@ pub use baselines;
 pub use desim;
 pub use gpu_arch;
 pub use gpu_sim;
+pub use pagoda_cluster;
 pub use pagoda_core;
+pub use pagoda_host;
 pub use pagoda_obs;
 pub use pagoda_serve;
 pub use pcie;
@@ -86,6 +90,10 @@ pub mod prelude {
     pub use desim::{Dur, SimTime};
     pub use gpu_arch::{GpuSpec, TaskShape};
     pub use gpu_sim::{BlockWork, DeviceConfig, GpuDevice, KernelDesc, Segment, WarpWork};
+    pub use pagoda_cluster::{
+        serve_fleet, ClusterConfig, ClusterError, ClusterHandle, FaultKind, FaultSpec, FleetReport,
+        Placement, RetryPolicy, TaskStatus,
+    };
     pub use pagoda_core::{
         Capacity, ConfigError, PagodaConfig, PagodaConfigBuilder, PagodaError, PagodaRuntime,
         SubmitError, TaskDesc, TaskError, TaskId,
