@@ -46,4 +46,11 @@ run cargo run --release --offline -p pagoda-bench --bin obs_overhead -- --smoke 
 # to a scratch path so CI never dirties the tree.
 run cargo run --release --offline -p pagoda-bench --bin cluster_scaling -- --smoke --out target/BENCH_cluster_smoke.json
 
+# Parallel-driver gate: serial and parallel fleet drivers must be
+# byte-identical (always enforced; the bin exits nonzero on mismatch),
+# and on hosts with >= 4 cores the 4-device parallel run must clear 2x
+# serial wall-clock. On smaller hosts the speedup is recorded but not
+# gated — a 1-core box cannot speed anything up.
+run cargo run --release --offline -p pagoda-bench --bin cluster_scaling -- --smoke --parallel --out target/BENCH_parallel_smoke.json
+
 echo "ci: all checks passed"

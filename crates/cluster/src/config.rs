@@ -1,7 +1,10 @@
-//! Fleet topology, fault schedule, and retry policy.
+//! Fleet topology, fault schedule, retry policy, and the validating
+//! [`ClusterConfigBuilder`].
 
-use desim::SimTime;
-use pagoda_core::PagodaConfig;
+use std::collections::BTreeSet;
+
+use desim::{Dur, SimTime};
+use pagoda_core::{ConfigError, PagodaConfig};
 use pcie::PcieConfig;
 
 use crate::placement::Placement;
@@ -38,7 +41,7 @@ pub struct FaultSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetryPolicy {
     /// Stranded tasks are reported lost; [`wait`](crate::ClusterHandle::wait)
-    /// returns [`ClusterError::TaskLost`](crate::ClusterError::TaskLost).
+    /// returns [`PagodaError::TaskLost`](pagoda_core::PagodaError::TaskLost).
     Fail,
     /// Stranded tasks re-enter placement on the surviving devices, up to
     /// `max_attempts` total submit attempts per task.
@@ -50,12 +53,23 @@ pub enum RetryPolicy {
 }
 
 /// Configuration of a [`ClusterHandle`](crate::ClusterHandle).
+///
+/// Build one with [`ClusterConfig::uniform`] for a homogeneous fleet or
+/// [`ClusterConfig::builder`] for anything else; both produce configs
+/// that pass [`validate`](ClusterConfig::validate), which
+/// [`ClusterHandle::new`](crate::ClusterHandle::new) re-checks.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// One runtime configuration per device, fleet order. Devices are
     /// independent — heterogeneous fleets are expressed by varying the
     /// per-device configs.
     pub devices: Vec<PagodaConfig>,
+    /// Stable id of each device, parallel to [`devices`]. Ids key
+    /// observability streams and per-device reports. Leave empty to get
+    /// the default `0..n` numbering.
+    ///
+    /// [`devices`]: ClusterConfig::devices
+    pub device_ids: Vec<u32>,
     /// Routing policy across the fleet.
     pub placement: Placement,
     /// Seed for the placement policy's sampling randomness
@@ -79,15 +93,30 @@ pub struct ClusterConfig {
     pub faults: Vec<FaultSpec>,
     /// What happens to in-flight tasks on a killed device.
     pub retry: RetryPolicy,
+    /// Run-ahead window of the fleet driver: devices simulate
+    /// independently up to `now + run_ahead`, then resynchronize at that
+    /// horizon before the next window. Smaller windows mean tighter
+    /// coupling; the window never changes *results* (cross-device
+    /// effects are merged at sync points either way), only how far apart
+    /// device clocks may drift inside one [`advance_to`] call.
+    ///
+    /// [`advance_to`]: crate::ClusterHandle::advance_to
+    pub run_ahead: Dur,
+    /// Step each window's devices on a scoped thread pool instead of in
+    /// a serial loop. Results are byte-identical either way — the merge
+    /// at every horizon orders cross-device effects by fleet instant —
+    /// so this trades nothing but wall-clock time.
+    pub parallel: bool,
 }
 
 impl ClusterConfig {
     /// A uniform fleet of `n` default (Titan X class) devices:
     /// least-outstanding placement, no faults, resubmit-on-kill with up
-    /// to 3 attempts.
+    /// to 3 attempts, serial 20 µs run-ahead windows.
     pub fn uniform(n: usize) -> Self {
         ClusterConfig {
             devices: vec![PagodaConfig::default(); n],
+            device_ids: Vec::new(),
             placement: Placement::LeastOutstanding,
             seed: 0x5eed_f1ee,
             interconnect: PcieConfig::default(),
@@ -95,6 +124,262 @@ impl ClusterConfig {
             xfer_bytes: 4096,
             faults: Vec::new(),
             retry: RetryPolicy::Resubmit { max_attempts: 3 },
+            run_ahead: Dur::from_us(20),
+            parallel: false,
         }
+    }
+
+    /// Start a [`ClusterConfigBuilder`] with no devices and the
+    /// [`uniform`](ClusterConfig::uniform) defaults for everything else.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::uniform(0),
+        }
+    }
+
+    /// Check the config for internal consistency; every constructor of
+    /// [`ClusterHandle`](crate::ClusterHandle) calls this.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.devices.is_empty() {
+            return Err(ConfigError::NoDevices);
+        }
+        if !self.device_ids.is_empty() {
+            if self.device_ids.len() != self.devices.len() {
+                return Err(ConfigError::DeviceIdCountMismatch {
+                    ids: self.device_ids.len(),
+                    devices: self.devices.len(),
+                });
+            }
+            let mut seen = BTreeSet::new();
+            for &id in &self.device_ids {
+                if !seen.insert(id) {
+                    return Err(ConfigError::DuplicateDeviceId { id });
+                }
+            }
+        }
+        if self.run_ahead == Dur::ZERO {
+            return Err(ConfigError::ZeroRunAhead);
+        }
+        for (device, cfg) in self.devices.iter().enumerate() {
+            cfg.validate().map_err(|source| ConfigError::FleetDevice {
+                device,
+                source: Box::new(source),
+            })?;
+        }
+        for (index, f) in self.faults.iter().enumerate() {
+            if f.device >= self.devices.len() {
+                return Err(ConfigError::BadFault {
+                    index,
+                    reason: "device index out of range",
+                });
+            }
+            if let FaultKind::Slow { factor } = f.kind {
+                if !factor.is_finite() || factor < 1.0 {
+                    return Err(ConfigError::BadFault {
+                        index,
+                        reason: "slow factor must be finite and >= 1",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The id of fleet device `index`: explicit when
+    /// [`device_ids`](ClusterConfig::device_ids) is set, else `index`.
+    pub fn device_id(&self, index: usize) -> u32 {
+        self.device_ids.get(index).copied().unwrap_or(index as u32)
+    }
+}
+
+/// Validating builder for [`ClusterConfig`], mirroring
+/// [`PagodaConfig::builder`].
+///
+/// ```
+/// use pagoda_cluster::{ClusterConfig, Placement};
+/// use pagoda_core::PagodaConfig;
+///
+/// let cfg = ClusterConfig::builder()
+///     .device(PagodaConfig::default())
+///     .device(PagodaConfig::default())
+///     .placement(Placement::RoundRobin)
+///     .parallel(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.devices.len(), 2);
+/// assert!(cfg.parallel);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Append a device, assigning it the next free ordinal id.
+    pub fn device(mut self, cfg: PagodaConfig) -> Self {
+        let id = self.cfg.device_ids.len() as u32;
+        self.cfg.devices.push(cfg);
+        self.cfg.device_ids.push(id);
+        self
+    }
+
+    /// Append a device with an explicit id. Duplicate ids are rejected
+    /// by [`build`](ClusterConfigBuilder::build).
+    pub fn device_with_id(mut self, id: u32, cfg: PagodaConfig) -> Self {
+        self.cfg.devices.push(cfg);
+        self.cfg.device_ids.push(id);
+        self
+    }
+
+    /// Routing policy across the fleet.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.cfg.placement = placement;
+        self
+    }
+
+    /// Seed for the placement policy's sampling randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Link model pricing off-affinity placements.
+    pub fn interconnect(mut self, interconnect: PcieConfig) -> Self {
+        self.cfg.interconnect = interconnect;
+        self
+    }
+
+    /// Home-set width per tenant.
+    pub fn affinity_spread(mut self, spread: u32) -> Self {
+        self.cfg.affinity_spread = spread;
+        self
+    }
+
+    /// Bytes staged per off-home placement.
+    pub fn xfer_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.xfer_bytes = bytes;
+        self
+    }
+
+    /// Schedule one device fault; may be called repeatedly.
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.cfg.faults.push(fault);
+        self
+    }
+
+    /// What happens to in-flight tasks on a killed device.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Run-ahead window of the fleet driver (must be nonzero).
+    pub fn run_ahead(mut self, window: Dur) -> Self {
+        self.cfg.run_ahead = window;
+        self
+    }
+
+    /// Step windows on a scoped thread pool (results unchanged).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.cfg.parallel = on;
+        self
+    }
+
+    /// Validate and return the finished config.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_ordinal_ids() {
+        let cfg = ClusterConfig::builder()
+            .device(PagodaConfig::default())
+            .device(PagodaConfig::default())
+            .device(PagodaConfig::default())
+            .build()
+            .expect("three uniform devices are valid");
+        assert_eq!(cfg.device_ids, vec![0, 1, 2]);
+        assert_eq!(cfg.device_id(1), 1);
+    }
+
+    #[test]
+    fn builder_rejects_empty_fleet() {
+        assert_eq!(
+            ClusterConfig::builder().build().unwrap_err(),
+            ConfigError::NoDevices
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_ids() {
+        let err = ClusterConfig::builder()
+            .device_with_id(7, PagodaConfig::default())
+            .device_with_id(7, PagodaConfig::default())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateDeviceId { id: 7 });
+    }
+
+    #[test]
+    fn builder_rejects_zero_run_ahead() {
+        let err = ClusterConfig::builder()
+            .device(PagodaConfig::default())
+            .run_ahead(Dur::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroRunAhead);
+    }
+
+    #[test]
+    fn validate_wraps_bad_device_configs() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.devices[1].rows_per_column = 0;
+        match cfg.validate().unwrap_err() {
+            ConfigError::FleetDevice { device, source } => {
+                assert_eq!(device, 1);
+                assert_eq!(*source, ConfigError::ZeroRows);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_id_count_mismatch() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.device_ids = vec![0];
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::DeviceIdCountMismatch { ids: 1, devices: 2 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_faults() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.faults.push(FaultSpec {
+            at: SimTime::from_us(10),
+            device: 9,
+            kind: FaultKind::Kill,
+        });
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadFault { index: 0, .. }
+        ));
+
+        cfg.faults[0] = FaultSpec {
+            at: SimTime::from_us(10),
+            device: 0,
+            kind: FaultKind::Slow { factor: 0.5 },
+        };
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadFault { index: 0, .. }
+        ));
     }
 }

@@ -3,14 +3,21 @@
 //! Each device is a full [`PagodaRuntime`] — own GPU, own PCIe link, own
 //! 48×32 TaskTable — constructed from its slot in
 //! [`ClusterConfig::devices`]. The fleet manager owns a single *fleet*
-//! clock and steps every live device to each fleet instant in lockstep;
-//! a per-device [`ClockMap`] translates fleet time into device-local
-//! time, so a slowed device simply receives less simulated time per
-//! fleet step and a killed device receives none. Between lockstep steps
-//! the per-device *host* clocks are free to run ahead independently
-//! (each `submit` charges its spawn CPU cost on the owning device only),
-//! which is exactly why a fleet outruns one device: N spawn pipelines
-//! and N PCIe links proceed in parallel.
+//! clock and advances it in bounded *run-ahead windows*
+//! ([`ClusterConfig::run_ahead`]): inside a window every live device
+//! simulates independently up to the window's horizon (a per-device
+//! [`ClockMap`] translates fleet time into device-local time, so a
+//! slowed device simply receives less simulated time per window and a
+//! killed device receives none), and at each horizon the fleet
+//! resynchronizes. Because devices are independent between horizons,
+//! the per-window work can run on a scoped thread pool
+//! ([`ClusterConfig::parallel`]); cross-device effects — completions,
+//! resubmissions, placement decisions — are applied only at sync
+//! points, where they are merged in `(fleet instant, device, key)`
+//! order, the fleet-level analogue of the simulation engine's
+//! `(time, seq)` tie-break. Serial and parallel drivers therefore
+//! produce byte-identical clocks, traces, reports, and observability
+//! streams.
 //!
 //! Task identity: the fleet issues its own dense `u64` keys (per-device
 //! [`TaskId`]s collide across devices). Completion is harvested on
@@ -20,15 +27,17 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use desim::{ClockMap, Dur, EngineStats, SimTime};
+use desim::{ClockMap, Dur, EngineStats, Horizon, SimTime};
 use pagoda_core::trace::TaskTrace;
-use pagoda_core::{Capacity, PagodaRuntime, SubmitError, TaskDesc, TaskId};
-use pagoda_obs::{Counter, DeviceSample, Obs, TaskState};
-use pagoda_serve::{serve_on, ServeBackend, ServeConfig, ServeError, ServeOutcome};
+use pagoda_core::{
+    Capacity, ConfigError, PagodaError, PagodaRuntime, SubmitError, TaskDesc, TaskId,
+};
+use pagoda_host::Backend;
+use pagoda_obs::{Counter, DeviceSample, Obs, ObsFork, TaskState};
 use pcie::{Direction, PcieConfig};
+use rayon::prelude::*;
 
 use crate::config::{ClusterConfig, FaultKind, FaultSpec, RetryPolicy};
-use crate::error::ClusterError;
 use crate::placement::{DeviceView, Placer};
 
 /// Where a cluster task currently is in its fleet-level lifecycle.
@@ -58,10 +67,16 @@ struct CTask {
     desc: TaskDesc,
     attempts: u32,
     status: Status,
+    /// Device currently holding this task's staged input payload, if
+    /// any. An off-home placement only pays the interconnect transfer
+    /// when the payload is *not* already resident on the target; a kill
+    /// clears the memo (the payload died with the device).
+    staged_on: Option<usize>,
 }
 
 struct Device {
     rt: PagodaRuntime,
+    id: u32,
     clock: ClockMap,
     alive: bool,
     /// fleet key → device-local id, insertion-ordered for deterministic
@@ -69,7 +84,20 @@ struct Device {
     outstanding: BTreeMap<u64, TaskId>,
     spawned: u64,
     completed: u64,
+    /// Last `(known_free, outstanding, alive)` tuple emitted to the
+    /// device track; samples are change-detected so the window loop can
+    /// probe every horizon without flooding the recorder.
+    last_sample: Option<(u32, u32, bool)>,
 }
+
+// The parallel driver moves `&mut Device` across scoped threads.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn device_is_send() {
+        assert_send::<Device>();
+    }
+};
 
 impl Device {
     fn view(&self) -> DeviceView {
@@ -79,12 +107,77 @@ impl Device {
             outstanding: self.outstanding.len() as u32,
         }
     }
+
+    /// Emits a [`DeviceSample`] at fleet instant `at` if the device's
+    /// observable tuple changed since the last emission (or `force`).
+    fn sample(&mut self, at: SimTime, obs: &Obs, force: bool) {
+        if !obs.enabled() {
+            return;
+        }
+        let tuple = (
+            if self.alive {
+                self.rt.capacity().known_free
+            } else {
+                0
+            },
+            self.outstanding.len() as u32,
+            self.alive,
+        );
+        if !force && self.last_sample == Some(tuple) {
+            return;
+        }
+        self.last_sample = Some(tuple);
+        obs.device(DeviceSample {
+            at_ps: at.as_ps(),
+            device: self.id,
+            known_free: tuple.0,
+            outstanding: tuple.1,
+            alive: tuple.2,
+        });
+    }
+
+    /// Scans `outstanding` for completions observable host-side, mapping
+    /// device-local output timestamps to fleet time.
+    ///
+    /// With `gate` set, a completion only counts once the fleet clock
+    /// has reached its mapped fleet instant. Device clocks legitimately
+    /// run ahead of the horizon (parallel spawn costs, per-round
+    /// copyback costs), and for a *slowed* device that run-ahead is
+    /// cheap local time that maps far into the fleet future — without
+    /// the gate, the fleet would observe those completions early and a
+    /// slowdown would cost nothing. Kill-harvest passes `gate = false`:
+    /// it reads the device's final local state, whenever that ran to.
+    fn scan_finished(&self, fleet_now: SimTime, gate: bool) -> Vec<(SimTime, u64)> {
+        self.outstanding
+            .iter()
+            .filter_map(|(&key, &id)| {
+                let done = self
+                    .rt
+                    .observed_done(id)
+                    .expect("invariant: fleet only holds ids its devices issued");
+                if !done {
+                    return None;
+                }
+                let local = self
+                    .rt
+                    .trace(id)
+                    .expect("invariant: fleet only holds ids its devices issued")
+                    .output_done
+                    .expect("invariant: observed-done task has an output time");
+                let at = self.clock.fleet_of(local);
+                if gate && at > fleet_now {
+                    return None;
+                }
+                Some((at, key))
+            })
+            .collect()
+    }
 }
 
 /// Per-device slice of a [`FleetReport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceReport {
-    /// Fleet index.
+    /// Device id ([`ClusterConfig::device_ids`], fleet index by default).
     pub device: u32,
     /// Whether the device was still serving at report time.
     pub alive: bool,
@@ -109,6 +202,12 @@ pub struct FleetReport {
     pub placements: u64,
     /// Placements that landed off the tenant's home set.
     pub off_affinity: u64,
+    /// Off-home placements that actually staged state across the
+    /// interconnect (a resubmit landing where the payload already lives
+    /// pays nothing, so this can trail [`off_affinity`]).
+    ///
+    /// [`off_affinity`]: FleetReport::off_affinity
+    pub staging_transfers: u64,
     /// Tasks re-spawned on a surviving device after a kill.
     pub resubmits: u64,
     /// Tasks lost to device failures.
@@ -123,7 +222,9 @@ pub struct FleetReport {
 
 /// A fleet of simulated Pagoda devices with routed placement and
 /// failover, exposing the single-runtime `submit`/`wait` shape with
-/// fleet-unique `u64` task keys.
+/// fleet-unique `u64` task keys. Implements [`Backend`], so anything
+/// written against one runtime (the serving loop, the benches) drives a
+/// fleet unchanged.
 pub struct ClusterHandle {
     devices: Vec<Device>,
     placer: Placer,
@@ -137,9 +238,12 @@ pub struct ClusterHandle {
     pending: VecDeque<u64>,
     unresolved: u64,
     wait_timeout: Dur,
+    run_ahead: Dur,
+    parallel: bool,
     obs: Obs,
     placements: u64,
     off_affinity: u64,
+    staged: u64,
     resubmits: u64,
     lost: u64,
     kills: u64,
@@ -147,36 +251,16 @@ pub struct ClusterHandle {
 }
 
 impl ClusterHandle {
-    /// Builds the fleet: validates every device config and the fault
-    /// schedule, instantiates one [`PagodaRuntime`] per device.
+    /// Builds the fleet: validates the configuration
+    /// ([`ClusterConfig::validate`]) and instantiates one
+    /// [`PagodaRuntime`] per device.
     ///
     /// # Errors
-    /// [`ClusterError::NoDevices`], [`ClusterError::Config`] or
-    /// [`ClusterError::BadFault`] on a malformed configuration.
-    pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
-        if cfg.devices.is_empty() {
-            return Err(ClusterError::NoDevices);
-        }
-        for (device, c) in cfg.devices.iter().enumerate() {
-            c.validate()
-                .map_err(|err| ClusterError::Config { device, err })?;
-        }
-        for (index, f) in cfg.faults.iter().enumerate() {
-            if f.device >= cfg.devices.len() {
-                return Err(ClusterError::BadFault {
-                    index,
-                    reason: "device index out of range",
-                });
-            }
-            if let FaultKind::Slow { factor } = f.kind {
-                if !factor.is_finite() || factor < 1.0 {
-                    return Err(ClusterError::BadFault {
-                        index,
-                        reason: "slow factor must be finite and >= 1",
-                    });
-                }
-            }
-        }
+    /// Any [`ConfigError`] from validation — [`ConfigError::NoDevices`],
+    /// [`ConfigError::FleetDevice`], [`ConfigError::BadFault`],
+    /// [`ConfigError::DuplicateDeviceId`], [`ConfigError::ZeroRunAhead`].
+    pub fn new(cfg: ClusterConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut faults = cfg.faults.clone();
         faults.sort_by_key(|f| f.at); // stable: same-instant faults keep config order
         let wait_timeout = cfg
@@ -188,13 +272,16 @@ impl ClusterHandle {
         let devices = cfg
             .devices
             .iter()
-            .map(|c| Device {
+            .enumerate()
+            .map(|(i, c)| Device {
                 rt: PagodaRuntime::new(c.clone()),
+                id: cfg.device_id(i),
                 clock: ClockMap::identity(),
                 alive: true,
                 outstanding: BTreeMap::new(),
                 spawned: 0,
                 completed: 0,
+                last_sample: None,
             })
             .collect();
         Ok(ClusterHandle {
@@ -210,9 +297,12 @@ impl ClusterHandle {
             pending: VecDeque::new(),
             unresolved: 0,
             wait_timeout,
+            run_ahead: cfg.run_ahead,
+            parallel: cfg.parallel,
             obs: Obs::off(),
             placements: 0,
             off_affinity: 0,
+            staged: 0,
             resubmits: 0,
             lost: 0,
             kills: 0,
@@ -236,6 +326,13 @@ impl ClusterHandle {
     /// The fleet clock.
     pub fn now(&self) -> SimTime {
         self.fleet_now
+    }
+
+    /// The host clock of fleet device `device` (its device-local
+    /// timeline, which legitimately runs ahead of the fleet clock);
+    /// `None` for an out-of-range index.
+    pub fn device_host_now(&self, device: usize) -> Option<SimTime> {
+        self.devices.get(device).map(|d| d.rt.host_now())
     }
 
     /// Fleet-wide admission headroom: the sum over *live* devices of
@@ -271,32 +368,50 @@ impl ClusterHandle {
     /// device has no known-free entry (or no device is alive) — call
     /// [`sync`](ClusterHandle::sync) and
     /// [`advance_to`](ClusterHandle::advance_to), then retry, exactly as
-    /// with a single runtime. Task-shape errors propagate unchanged.
+    /// with a single runtime. A Full return charges nothing — no device
+    /// clock moves. Task-shape errors propagate unchanged.
     pub fn submit_for(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
         let kept = desc.clone();
-        let (device, id, off_home) = self.route(tenant, desc)?;
+        let (device, id, off_home, staged) = self.route(tenant, desc, None)?;
         let key = self.tasks.len() as u64;
         self.tasks.push(CTask {
             tenant,
             desc: kept,
             attempts: 1,
             status: Status::InFlight { device },
+            staged_on: None,
         });
         self.unresolved += 1;
-        self.commit_spawn(key, tenant, device, id, off_home, false);
+        self.commit_spawn(key, tenant, device, id, off_home, staged, false);
         Ok(key)
     }
 
-    /// Placement + staging charge + device-local spawn.
-    fn route(&mut self, tenant: u32, desc: TaskDesc) -> Result<(usize, TaskId, bool), SubmitError> {
+    /// Placement + staging charge + device-local spawn. `staged_on` is
+    /// the device already holding the task's payload (resubmissions).
+    ///
+    /// The capacity pre-check matters: the staging transfer must only be
+    /// charged when the spawn actually lands. Without it, a placement
+    /// that comes back [`SubmitError::Full`] would leave the target's
+    /// clock advanced, and every retry of the same task would re-charge
+    /// the same transfer.
+    fn route(
+        &mut self,
+        tenant: u32,
+        desc: TaskDesc,
+        staged_on: Option<usize>,
+    ) -> Result<(usize, TaskId, bool, bool), SubmitError> {
         let views: Vec<DeviceView> = self.devices.iter().map(Device::view).collect();
         let Some(device) = self.placer.place(tenant, &views) else {
             return Err(SubmitError::Full(desc));
         };
         let off_home = !self.placer.is_home(tenant, device, self.devices.len());
         let d = &mut self.devices[device];
-        if off_home {
-            // Tenant state is staged device-to-device before the spawn
+        if !d.rt.capacity().has_room() {
+            return Err(SubmitError::Full(desc));
+        }
+        let staged = off_home && staged_on != Some(device);
+        if staged {
+            // Tenant state is staged onto the target before the spawn
             // can land; modeled as a one-hop transfer on the fleet
             // interconnect, serialized on the target device's timeline.
             let stage = self
@@ -306,10 +421,11 @@ impl ClusterHandle {
             d.rt.advance_to(at);
         }
         let id = d.rt.submit(desc)?;
-        Ok((device, id, off_home))
+        Ok((device, id, off_home, staged))
     }
 
     /// Bookkeeping shared by first spawns and resubmissions.
+    #[allow(clippy::too_many_arguments)]
     fn commit_spawn(
         &mut self,
         key: u64,
@@ -317,17 +433,23 @@ impl ClusterHandle {
         device: usize,
         id: TaskId,
         off_home: bool,
+        staged: bool,
         resubmit: bool,
     ) {
         let d = &mut self.devices[device];
         d.outstanding.insert(key, id);
         d.spawned += 1;
         self.tasks[key as usize].status = Status::InFlight { device };
+        self.tasks[key as usize].staged_on = Some(device);
         self.placements += 1;
         self.obs.count(Counter::ClusterPlacements, 1);
         if off_home {
             self.off_affinity += 1;
             self.obs.count(Counter::ClusterOffAffinity, 1);
+        }
+        if staged {
+            self.staged += 1;
+            self.obs.count(Counter::ClusterStagedTransfers, 1);
         }
         if resubmit {
             self.tasks[key as usize].attempts += 1;
@@ -338,89 +460,98 @@ impl ClusterHandle {
                 .task(self.fleet_now.as_ps(), key, TaskState::Spawned);
             self.obs.tenant(key, tenant);
         }
-        self.sample_device(device);
-    }
-
-    fn sample_device(&self, device: usize) {
-        if !self.obs.enabled() {
-            return;
-        }
-        let d = &self.devices[device];
-        self.obs.device(DeviceSample {
-            at_ps: self.fleet_now.as_ps(),
-            device: device as u32,
-            known_free: if d.alive {
-                d.rt.capacity().known_free
-            } else {
-                0
-            },
-            outstanding: d.outstanding.len() as u32,
-            alive: d.alive,
-        });
+        let obs = self.obs.clone();
+        self.devices[device].sample(self.fleet_now, &obs, false);
     }
 
     /// Refreshes the fleet's completion view: one §4.2.2 aggregate
-    /// copy-back per live device, then harvests finished tasks and
-    /// drains the resubmission queue onto devices with room. Costs
-    /// simulated time on each device, like
+    /// copy-back per live device, a deterministic merge of every
+    /// completion observed, then a drain of the resubmission queue onto
+    /// devices with room. Costs simulated time on each device, like
     /// [`PagodaRuntime::sync_table`].
+    ///
+    /// The per-device half (copy-back + completion scan) is independent
+    /// across devices and runs on the thread pool under
+    /// [`ClusterConfig::parallel`]; the merge orders all observed
+    /// completions by `(fleet instant, device, key)` before applying
+    /// them, so the completion/resubmission sequence is identical
+    /// however the scan was scheduled.
     pub fn sync(&mut self) {
-        for i in 0..self.devices.len() {
-            if self.devices[i].alive {
-                self.devices[i].rt.sync_table();
-                self.harvest(i, true);
-            }
-        }
+        let merged = self.sync_devices(true);
+        self.apply_completions(merged);
+        self.sample_all();
         self.drain_pending();
     }
 
-    /// Moves observed completions on device `i` from in-flight to done,
-    /// mapping device-local output timestamps to fleet time.
-    ///
-    /// With `gate` set, a completion only counts once the fleet clock
-    /// has reached its mapped fleet instant. Device clocks legitimately
-    /// run ahead of the lockstep (parallel spawn costs, per-round
-    /// copyback costs), and for a *slowed* device that run-ahead is
-    /// cheap local time that maps far into the fleet future — without
-    /// the gate, the fleet would observe those completions early and a
-    /// slowdown would cost nothing. Kill-harvest passes `gate = false`:
-    /// it reads the device's final local state, whenever that ran to.
-    fn harvest(&mut self, i: usize, gate: bool) {
-        let finished: Vec<(u64, SimTime)> = {
-            let d = &self.devices[i];
-            let now = self.fleet_now;
-            d.outstanding
-                .iter()
-                .filter_map(|(&key, &id)| {
-                    let done =
-                        d.rt.observed_done(id)
-                            .expect("invariant: fleet only holds ids its devices issued");
-                    if !done {
-                        return None;
-                    }
-                    let local =
-                        d.rt.trace(id)
-                            .expect("invariant: fleet only holds ids its devices issued")
-                            .output_done
-                            .expect("invariant: observed-done task has an output time");
-                    let at = d.clock.fleet_of(local);
-                    if gate && at > now {
-                        return None;
-                    }
-                    Some((key, at))
+    /// Phase 1 of [`sync`](ClusterHandle::sync): per-device copy-back +
+    /// completion scan, returning the merged `(at, device, key)` list.
+    fn sync_devices(&mut self, gate: bool) -> Vec<(SimTime, usize, u64)> {
+        type DeviceScan = (usize, Vec<(SimTime, u64)>, ObsFork);
+        let fleet_now = self.fleet_now;
+        let obs = self.obs.clone();
+        let mut merged: Vec<(SimTime, usize, u64)> = Vec::new();
+        if self.parallel {
+            let work: Vec<(usize, &mut Device, ObsFork)> = self
+                .devices
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, d)| d.alive)
+                .map(|(i, d)| (i, d, obs.fork()))
+                .collect();
+            let scans: Vec<DeviceScan> = work
+                .into_par_iter()
+                .map(|(i, d, fork)| {
+                    d.rt.sync_table();
+                    d.sample(fleet_now, &fork.obs(), false);
+                    let finished = d.scan_finished(fleet_now, gate);
+                    (i, finished, fork)
                 })
-                .collect()
-        };
-        let any = !finished.is_empty();
-        for (key, at) in finished {
-            self.devices[i].outstanding.remove(&key);
-            self.devices[i].completed += 1;
+                .collect();
+            // Joins happen in device order regardless of which thread
+            // ran which device — the recorder sees the serial stream.
+            for (i, finished, fork) in scans {
+                obs.join(fork);
+                merged.extend(finished.into_iter().map(|(at, key)| (at, i, key)));
+            }
+        } else {
+            for (i, d) in self.devices.iter_mut().enumerate() {
+                if !d.alive {
+                    continue;
+                }
+                d.rt.sync_table();
+                d.sample(fleet_now, &obs, false);
+                merged.extend(
+                    d.scan_finished(fleet_now, gate)
+                        .into_iter()
+                        .map(|(at, key)| (at, i, key)),
+                );
+            }
+        }
+        // The fleet-level tie-break: completions apply in fleet-time
+        // order, ties broken by device index then task key — the same
+        // shape as the engine's (time, seq) ordering.
+        merged.sort_unstable();
+        merged
+    }
+
+    /// Phase 2 of [`sync`](ClusterHandle::sync): applies merged
+    /// completions in `(at, device, key)` order.
+    fn apply_completions(&mut self, merged: Vec<(SimTime, usize, u64)>) {
+        for (at, device, key) in merged {
+            self.devices[device].outstanding.remove(&key);
+            self.devices[device].completed += 1;
             self.tasks[key as usize].status = Status::Done { at };
             self.unresolved -= 1;
             self.obs.task(at.as_ps(), key, TaskState::Freed);
         }
-        if any {
-            self.sample_device(i);
+    }
+
+    /// Change-detected post-merge device samples, fleet order.
+    fn sample_all(&mut self) {
+        let obs = self.obs.clone();
+        let now = self.fleet_now;
+        for d in &mut self.devices {
+            d.sample(now, &obs, false);
         }
     }
 
@@ -437,10 +568,11 @@ impl ClusterHandle {
         while let Some(&key) = self.pending.front() {
             let tenant = self.tasks[key as usize].tenant;
             let desc = self.tasks[key as usize].desc.clone();
-            match self.route(tenant, desc) {
-                Ok((device, id, off_home)) => {
+            let staged_on = self.tasks[key as usize].staged_on;
+            match self.route(tenant, desc, staged_on) {
+                Ok((device, id, off_home, staged)) => {
                     self.pending.pop_front();
-                    self.commit_spawn(key, tenant, device, id, off_home, true);
+                    self.commit_spawn(key, tenant, device, id, off_home, staged, true);
                 }
                 Err(SubmitError::Full(_)) => break,
                 Err(e) => unreachable!("descriptor spawned once, cannot be invalid now: {e}"),
@@ -457,8 +589,8 @@ impl ClusterHandle {
     }
 
     /// Advances the fleet clock to `t` (no-op if in the past), stepping
-    /// every live device in lockstep and applying any scheduled faults
-    /// whose instant is reached on the way.
+    /// every live device window by window and applying any scheduled
+    /// faults whose instant is reached on the way.
     pub fn advance_to(&mut self, t: SimTime) {
         while self.next_fault < self.faults.len() && self.faults[self.next_fault].at <= t {
             let f = self.faults[self.next_fault];
@@ -470,20 +602,50 @@ impl ClusterHandle {
         self.step_devices(t);
     }
 
+    /// The window loop — the fleet's driver. Serial and parallel modes
+    /// walk the *same* horizons (a pure function of the interval and
+    /// [`ClusterConfig::run_ahead`]); inside a window each live device
+    /// advances alone, so the fan-out is free of cross-device ordering.
+    /// Observability forks are joined back in device order, making the
+    /// recorder stream independent of thread scheduling.
     fn step_devices(&mut self, t: SimTime) {
         if t <= self.fleet_now {
             return;
         }
-        for d in &mut self.devices {
-            if d.alive {
-                let local = d.clock.local_of(t);
-                d.rt.advance_to(local);
+        let obs = self.obs.clone();
+        for h in Horizon::new(self.run_ahead).windows(self.fleet_now, t) {
+            if self.parallel {
+                let work: Vec<(&mut Device, ObsFork)> = self
+                    .devices
+                    .iter_mut()
+                    .filter(|d| d.alive)
+                    .map(|d| (d, obs.fork()))
+                    .collect();
+                let forks: Vec<ObsFork> = work
+                    .into_par_iter()
+                    .map(|(d, fork)| {
+                        d.rt.advance_to(d.clock.local_of(h));
+                        d.sample(h, &fork.obs(), false);
+                        fork
+                    })
+                    .collect();
+                for fork in forks {
+                    obs.join(fork);
+                }
+            } else {
+                for d in &mut self.devices {
+                    if d.alive {
+                        d.rt.advance_to(d.clock.local_of(h));
+                        d.sample(h, &obs, false);
+                    }
+                }
             }
+            self.fleet_now = h;
         }
-        self.fleet_now = t;
     }
 
     fn apply_fault(&mut self, f: &FaultSpec, at: SimTime) {
+        let obs = self.obs.clone();
         match f.kind {
             FaultKind::Slow { factor } => {
                 if !self.devices[f.device].alive {
@@ -492,7 +654,9 @@ impl ClusterHandle {
                 self.devices[f.device].clock.set_rate(at, 1.0 / factor);
                 self.slowdowns += 1;
                 self.obs.count(Counter::ClusterDeviceSlowdowns, 1);
-                self.sample_device(f.device);
+                // Forced: the observable tuple is unchanged by a
+                // slowdown, but the instant belongs on the track.
+                self.devices[f.device].sample(at, &obs, true);
             }
             FaultKind::Kill => {
                 if !self.devices[f.device].alive {
@@ -501,7 +665,17 @@ impl ClusterHandle {
                 // Last harvest: completions already in host memory (or
                 // observable via one final copy-back) survive the kill.
                 self.devices[f.device].rt.sync_table();
-                self.harvest(f.device, false);
+                let finished = {
+                    let d = &mut self.devices[f.device];
+                    d.sample(at, &obs, false);
+                    d.scan_finished(at, false)
+                };
+                let mut merged: Vec<(SimTime, usize, u64)> = finished
+                    .into_iter()
+                    .map(|(t, key)| (t, f.device, key))
+                    .collect();
+                merged.sort_unstable();
+                self.apply_completions(merged);
                 self.devices[f.device].alive = false;
                 self.kills += 1;
                 self.obs.count(Counter::ClusterDeviceKills, 1);
@@ -509,6 +683,9 @@ impl ClusterHandle {
                     self.devices[f.device].outstanding.keys().copied().collect();
                 self.devices[f.device].outstanding.clear();
                 for key in stranded {
+                    // The payload died with the device: a resubmission
+                    // must stage again wherever it lands off-home.
+                    self.tasks[key as usize].staged_on = None;
                     let retry = match self.retry {
                         RetryPolicy::Fail => false,
                         RetryPolicy::Resubmit { max_attempts } => {
@@ -522,7 +699,7 @@ impl ClusterHandle {
                         self.mark_lost(key, at);
                     }
                 }
-                self.sample_device(f.device);
+                self.devices[f.device].sample(at, &obs, true);
                 self.drain_pending();
             }
         }
@@ -531,12 +708,15 @@ impl ClusterHandle {
     /// Where task `key` is in its lifecycle.
     ///
     /// # Errors
-    /// [`ClusterError::UnknownTask`] for a key this fleet never issued.
-    pub fn status(&self, key: u64) -> Result<TaskStatus, ClusterError> {
+    /// [`PagodaError::UnknownTask`] for a key this fleet never issued.
+    pub fn status(&self, key: u64) -> Result<TaskStatus, PagodaError> {
         let t = self
             .tasks
             .get(key as usize)
-            .ok_or(ClusterError::UnknownTask { key })?;
+            .ok_or(PagodaError::UnknownTask {
+                task: TaskId(key),
+                spawned: self.tasks.len() as u64,
+            })?;
         Ok(match t.status {
             Status::InFlight { .. } => TaskStatus::InFlight,
             Status::Queued => TaskStatus::Queued,
@@ -563,25 +743,53 @@ impl ClusterHandle {
         }
     }
 
+    /// Non-blocking completion probe: one [`sync`](ClusterHandle::sync),
+    /// then reports whether `key` is done.
+    ///
+    /// # Errors
+    /// [`PagodaError::UnknownTask`] for a foreign key;
+    /// [`PagodaError::TaskLost`] once the retry policy has given up on
+    /// the task.
+    pub fn check(&mut self, key: u64) -> Result<bool, PagodaError> {
+        if key as usize >= self.tasks.len() {
+            return Err(PagodaError::UnknownTask {
+                task: TaskId(key),
+                spawned: self.tasks.len() as u64,
+            });
+        }
+        self.sync();
+        match self.tasks[key as usize].status {
+            Status::Done { .. } => Ok(true),
+            Status::Lost { .. } => Err(PagodaError::TaskLost {
+                task: TaskId(key),
+                attempts: self.tasks[key as usize].attempts,
+            }),
+            _ => Ok(false),
+        }
+    }
+
     /// Blocks (in simulated time) until `key` completes: sync, then idle
     /// the fleet by its polling slice, repeatedly — the single-runtime
     /// `wait` loop, fleet-wide. Returns the completion instant.
     ///
     /// # Errors
-    /// [`ClusterError::UnknownTask`] for a foreign key;
-    /// [`ClusterError::TaskLost`] if a device died under the task and
-    /// the retry policy gave up.
-    pub fn wait(&mut self, key: u64) -> Result<SimTime, ClusterError> {
+    /// [`PagodaError::UnknownTask`] for a foreign key;
+    /// [`PagodaError::TaskLost`] if a device died under the task and the
+    /// retry policy gave up.
+    pub fn wait(&mut self, key: u64) -> Result<SimTime, PagodaError> {
         if key as usize >= self.tasks.len() {
-            return Err(ClusterError::UnknownTask { key });
+            return Err(PagodaError::UnknownTask {
+                task: TaskId(key),
+                spawned: self.tasks.len() as u64,
+            });
         }
         let mut iterations = 0u64;
         loop {
             match self.tasks[key as usize].status {
                 Status::Done { at } => return Ok(at),
                 Status::Lost { .. } => {
-                    return Err(ClusterError::TaskLost {
-                        key,
+                    return Err(PagodaError::TaskLost {
+                        task: TaskId(key),
                         attempts: self.tasks[key as usize].attempts,
                     })
                 }
@@ -614,7 +822,7 @@ impl ClusterHandle {
 
     /// Per-device [`desim`] engine counters, fleet order — the
     /// determinism fingerprint: two runs of the same configuration must
-    /// produce identical vectors.
+    /// produce identical vectors, serial or parallel.
     pub fn engine_stats(&self) -> Vec<EngineStats> {
         self.devices.iter().map(|d| d.rt.engine_stats()).collect()
     }
@@ -624,14 +832,14 @@ impl ClusterHandle {
         let mut devices = Vec::with_capacity(self.devices.len());
         let mut occ_weighted = 0.0;
         let mut occ_weight = 0u64;
-        for (i, d) in self.devices.iter_mut().enumerate() {
+        for d in self.devices.iter_mut() {
             let occ = d.rt.report().avg_running_occupancy;
             if d.spawned > 0 {
                 occ_weighted += occ * d.spawned as f64;
                 occ_weight += d.spawned;
             }
             devices.push(DeviceReport {
-                device: i as u32,
+                device: d.id,
                 alive: d.alive,
                 spawned: d.spawned,
                 completed: d.completed,
@@ -644,6 +852,7 @@ impl ClusterHandle {
             completed: self.tasks.len() as u64 - self.lost - self.unresolved,
             placements: self.placements,
             off_affinity: self.off_affinity,
+            staging_transfers: self.staged,
             resubmits: self.resubmits,
             tasks_lost: self.lost,
             kills: self.kills,
@@ -657,13 +866,16 @@ impl ClusterHandle {
     }
 }
 
-/// The fleet behind the serving loop: [`pagoda_serve::serve_on`] drives
-/// a [`ClusterHandle`] exactly as it drives one runtime. A task lost to
-/// a device failure "completes" at its loss instant from the serving
+/// The fleet behind the one executor surface: [`pagoda_serve`]'s loop —
+/// or anything else written against [`Backend`] — drives a
+/// [`ClusterHandle`] exactly as it drives one runtime. A task lost to a
+/// device failure "completes" at its loss instant from the serving
 /// layer's viewpoint (its sojourn ends there); the fleet's
 /// `cluster_tasks_lost` counter and [`FleetReport::tasks_lost`] record
 /// the failure.
-impl ServeBackend for ClusterHandle {
+///
+/// [`pagoda_serve`]: https://docs.rs/pagoda-serve
+impl Backend for ClusterHandle {
     fn submit(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
         self.submit_for(tenant, desc)
     }
@@ -672,11 +884,19 @@ impl ServeBackend for ClusterHandle {
         ClusterHandle::capacity(self)
     }
 
+    fn check(&mut self, key: u64) -> Result<bool, PagodaError> {
+        ClusterHandle::check(self, key)
+    }
+
+    fn wait(&mut self, key: u64) -> Result<SimTime, PagodaError> {
+        ClusterHandle::wait(self, key)
+    }
+
     fn observed_done(&self, key: u64) -> bool {
         matches!(
             self.tasks
                 .get(key as usize)
-                .expect("invariant: serve loop only passes keys this fleet issued")
+                .expect("invariant: callers only pass keys this fleet issued")
                 .status,
             Status::Done { .. } | Status::Lost { .. }
         )
@@ -711,22 +931,10 @@ impl ServeBackend for ClusterHandle {
         // timelines are exported through `pagoda-obs` instead.
         Vec::new()
     }
-}
 
-/// Serves `cfg`'s tenant mix on `fleet` and returns both the serving
-/// outcome and the fleet's report. Attaches `cfg.obs` to the fleet so
-/// admission counters, tenant tags, and device tracks land in one
-/// recorder. `cfg.runtime` is ignored — the fleet brings its devices.
-///
-/// # Errors
-/// Propagates [`ServeError`] from the serving loop.
-pub fn serve_fleet(
-    cfg: &ServeConfig,
-    fleet: &mut ClusterHandle,
-) -> Result<(ServeOutcome, FleetReport), ServeError> {
-    fleet.attach_obs(cfg.obs.clone());
-    let out = serve_on(cfg, fleet)?;
-    Ok((out, fleet.report()))
+    fn attach_obs(&mut self, obs: Obs) {
+        ClusterHandle::attach_obs(self, obs);
+    }
 }
 
 #[cfg(test)]
@@ -809,7 +1017,7 @@ mod tests {
             .collect();
         assert_eq!(lost.len() as u64, rep.tasks_lost);
         let err = fleet.wait(lost[0]).unwrap_err();
-        assert!(matches!(err, ClusterError::TaskLost { .. }));
+        assert!(matches!(err, PagodaError::TaskLost { .. }));
     }
 
     #[test]
@@ -899,6 +1107,42 @@ mod tests {
         let rep = fleet.report();
         assert!(rep.off_affinity > 0, "flooded tenant must spill off-home");
         assert_eq!(rep.off_affinity, spilled);
+        // With no kills, every off-home spawn genuinely crossed devices.
+        assert_eq!(rep.staging_transfers, rep.off_affinity);
+    }
+
+    #[test]
+    fn full_submit_charges_no_device_time() {
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.placement = Placement::TenantAffinity;
+        cfg.affinity_spread = 1;
+        for c in &mut cfg.devices {
+            c.rows_per_column = 1;
+        }
+        let mut fleet = ClusterHandle::new(cfg).unwrap();
+        // Flood the whole fleet for one tenant until nothing has room.
+        let mut guard = 0;
+        loop {
+            match fleet.submit_for(0, task()) {
+                Ok(_) => {}
+                Err(SubmitError::Full(_)) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            guard += 1;
+            assert!(guard < 10_000, "fleet never filled");
+        }
+        let before: Vec<_> = (0..2).map(|i| fleet.device_host_now(i)).collect();
+        // A rejected placement must not advance any device's clock —
+        // otherwise every retry of the same descriptor re-charges the
+        // staging transfer it never used.
+        for _ in 0..3 {
+            assert!(matches!(
+                fleet.submit_for(0, task()),
+                Err(SubmitError::Full(_))
+            ));
+        }
+        let after: Vec<_> = (0..2).map(|i| fleet.device_host_now(i)).collect();
+        assert_eq!(before, after, "Full submits must charge nothing");
     }
 
     #[test]
@@ -924,6 +1168,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_driver_matches_serial_byte_for_byte() {
+        let run = |parallel: bool| {
+            let mut cfg = ClusterConfig::uniform(3);
+            cfg.placement = Placement::PowerOfTwo;
+            cfg.seed = 7;
+            cfg.parallel = parallel;
+            // A window that does not divide the 20 us polling slice, so
+            // every advance crosses several partial windows.
+            cfg.run_ahead = Dur::from_us(7);
+            cfg.faults = vec![FaultSpec {
+                at: SimTime::from_us(9),
+                device: 1,
+                kind: FaultKind::Kill,
+            }];
+            let (obs, rec) = Obs::recording();
+            let mut fleet = ClusterHandle::new(cfg).unwrap();
+            fleet.attach_obs(obs);
+            let (keys, mut fleet) = run_batch(fleet, 32);
+            let times: Vec<_> = keys.iter().map(|&k| fleet.completion_time(k)).collect();
+            (
+                rec.snapshot().to_json(),
+                times,
+                fleet.engine_stats(),
+                fleet.report(),
+            )
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(serial.0, parallel.0, "recorder streams diverged");
+        assert_eq!(serial.1, parallel.1, "completion times diverged");
+        assert_eq!(serial.2, parallel.2, "engine stats diverged");
+        assert_eq!(serial.3, parallel.3, "fleet reports diverged");
+    }
+
+    #[test]
     fn obs_records_device_tracks_and_fleet_counters() {
         let (obs, rec) = Obs::recording();
         let mut cfg = ClusterConfig::uniform(2);
@@ -944,6 +1223,10 @@ mod tests {
         assert_eq!(snap.counter(Counter::ClusterPlacements), rep.placements);
         assert_eq!(snap.counter(Counter::ClusterDeviceKills), 1);
         assert_eq!(snap.counter(Counter::ClusterResubmits), rep.resubmits);
+        assert_eq!(
+            snap.counter(Counter::ClusterStagedTransfers),
+            rep.staging_transfers
+        );
         assert!(
             snap.devices.iter().any(|s| s.device == 1 && !s.alive),
             "kill must be visible on the device track"
@@ -961,7 +1244,7 @@ mod tests {
     fn bad_configs_are_rejected() {
         assert!(matches!(
             ClusterHandle::new(ClusterConfig::uniform(0)),
-            Err(ClusterError::NoDevices)
+            Err(ConfigError::NoDevices)
         ));
         let mut cfg = ClusterConfig::uniform(2);
         cfg.faults = vec![FaultSpec {
@@ -971,7 +1254,7 @@ mod tests {
         }];
         assert!(matches!(
             ClusterHandle::new(cfg),
-            Err(ClusterError::BadFault { .. })
+            Err(ConfigError::BadFault { .. })
         ));
         let mut cfg = ClusterConfig::uniform(2);
         cfg.faults = vec![FaultSpec {
@@ -981,13 +1264,19 @@ mod tests {
         }];
         assert!(matches!(
             ClusterHandle::new(cfg),
-            Err(ClusterError::BadFault { .. })
+            Err(ConfigError::BadFault { .. })
+        ));
+        let mut cfg = ClusterConfig::uniform(2);
+        cfg.run_ahead = Dur::ZERO;
+        assert!(matches!(
+            ClusterHandle::new(cfg),
+            Err(ConfigError::ZeroRunAhead)
         ));
     }
 
     #[test]
-    fn serve_fleet_round_trips_a_tenant_mix() {
-        use pagoda_serve::{Policy, TenantSpec};
+    fn serve_on_drives_the_fleet_backend() {
+        use pagoda_serve::{serve_on, Policy, ServeConfig, TenantSpec};
         use workloads::Bench;
 
         let video = TenantSpec::new("video", Bench::Dct, 4.0e5);
@@ -995,7 +1284,8 @@ mod tests {
         let mut cfg = ServeConfig::new(vec![video, crypto], Policy::Fifo);
         cfg.tasks_per_tenant = 24;
         let mut fleet = ClusterHandle::new(ClusterConfig::uniform(2)).unwrap();
-        let (out, rep) = serve_fleet(&cfg, &mut fleet).unwrap();
+        let out = serve_on(&cfg, &mut fleet).unwrap();
+        let rep = fleet.report();
         let offered: u64 = out.report.tenants.iter().map(|t| t.offered).sum();
         assert_eq!(offered, 48);
         assert_eq!(rep.completed, rep.placements - rep.resubmits);

@@ -13,29 +13,38 @@
 //!   round-robin, least-outstanding, power-of-two-choices sampling, and
 //!   tenant affinity. Every policy accounts placements against a
 //!   tenant's *home* device set; landing elsewhere pays a modeled
-//!   inter-device staging transfer over [`ClusterConfig::interconnect`].
+//!   inter-device staging transfer over [`ClusterConfig::interconnect`]
+//!   (charged once per genuine cross-device move — see
+//!   [`FleetReport::staging_transfers`]).
 //! * [`fleet`] — [`ClusterHandle`], N independent [`PagodaRuntime`]
-//!   instances stepped in lockstep under one fleet clock
-//!   ([`desim::ClockMap`] absorbs per-device slowdowns), exposing the
-//!   same `submit`/`wait`/`capacity` shape as a single runtime but with
+//!   instances advanced in bounded run-ahead windows under one fleet
+//!   clock ([`desim::ClockMap`] absorbs per-device slowdowns). With
+//!   [`ClusterConfig::parallel`] the per-window device work runs on a
+//!   scoped thread pool; a deterministic `(instant, device, key)` merge
+//!   at every horizon keeps parallel runs byte-identical to serial
+//!   ones. Exposes the same `submit`/`wait`/`capacity` shape as a
+//!   single runtime — it implements [`pagoda_host::Backend`] — with
 //!   fleet-unique `u64` task keys.
-//! * [`config`] — fleet topology, fault schedule ([`FaultSpec`]: kill or
-//!   slow a device at a simulated instant) and the [`RetryPolicy`]
-//!   deciding whether in-flight tasks stranded by a kill are failed or
-//!   resubmitted elsewhere.
+//! * [`config`] — fleet topology ([`ClusterConfig::builder`]), fault
+//!   schedule ([`FaultSpec`]: kill or slow a device at a simulated
+//!   instant) and the [`RetryPolicy`] deciding whether in-flight tasks
+//!   stranded by a kill are failed or resubmitted elsewhere.
 //!
-//! The fleet integrates upward with `pagoda-serve` (it implements
-//! [`pagoda_serve::ServeBackend`], so [`pagoda_serve::serve_on`] — or the
-//! [`serve_fleet`] convenience wrapper — dispatches a multi-tenant open
-//! stream across devices) and with `pagoda-obs` (per-device
-//! [`pagoda_obs::DeviceSample`] tracks plus `cluster_*` fleet counters).
+//! The fleet integrates upward with `pagoda-serve`
+//! (`pagoda_serve::serve_on` dispatches a multi-tenant open stream
+//! across devices through the shared [`Backend`] trait) and with
+//! `pagoda-obs` (per-device [`pagoda_obs::DeviceSample`] tracks plus
+//! `cluster_*` fleet counters). Errors fold into the core hierarchy:
+//! construction returns [`pagoda_core::ConfigError`], task queries
+//! return [`pagoda_core::PagodaError`].
 //!
 //! Determinism carries through from the substrate: same
 //! [`ClusterConfig`] (including seed and fault schedule) ⇒ identical
 //! placement sequences, completion times, and per-device
-//! [`desim::EngineStats`].
+//! [`desim::EngineStats`] — with or without [`ClusterConfig::parallel`].
 //!
 //! [`PagodaRuntime`]: pagoda_core::PagodaRuntime
+//! [`Backend`]: pagoda_host::Backend
 //!
 //! # Example
 //!
@@ -53,11 +62,10 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
-pub mod error;
 pub mod fleet;
 pub mod placement;
 
-pub use config::{ClusterConfig, FaultKind, FaultSpec, RetryPolicy};
-pub use error::ClusterError;
-pub use fleet::{serve_fleet, ClusterHandle, DeviceReport, FleetReport, TaskStatus};
+pub use config::{ClusterConfig, ClusterConfigBuilder, FaultKind, FaultSpec, RetryPolicy};
+pub use fleet::{ClusterHandle, DeviceReport, FleetReport, TaskStatus};
+pub use pagoda_host::Backend;
 pub use placement::{DeviceView, Placement, Placer};

@@ -125,8 +125,11 @@ impl PagodaConfig {
 /// `sched_scan_cycles`) stops being credible.
 pub const MAX_ROWS_PER_COLUMN: u32 = 1024;
 
-/// Why a [`PagodaConfigBuilder::build`] was rejected.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Why a configuration build was rejected — by
+/// [`PagodaConfigBuilder::build`] for a single runtime, or by the cluster
+/// layer's `ClusterConfig` validation for a fleet (the fleet variants live
+/// here so callers match on one error enum across both layers).
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// `rows_per_column == 0`: the TaskTable would hold no entries.
     ZeroRows,
@@ -148,6 +151,39 @@ pub enum ConfigError {
     /// `wait_timeout == 0`: `wait`/`waitAll` would poll without advancing
     /// time and trip the livelock guard.
     ZeroWaitTimeout,
+    /// A fleet configuration named no devices.
+    NoDevices,
+    /// Two fleet devices share an id; ids key observability streams and
+    /// reports, so they must be unique.
+    DuplicateDeviceId {
+        /// The repeated id.
+        id: u32,
+    },
+    /// A fleet named explicit device ids but not one per device.
+    DeviceIdCountMismatch {
+        /// Ids given.
+        ids: usize,
+        /// Devices configured.
+        devices: usize,
+    },
+    /// The fleet run-ahead window is zero: devices could never simulate
+    /// past a synchronization point, so time would not advance.
+    ZeroRunAhead,
+    /// One device's [`PagodaConfig`] failed validation.
+    FleetDevice {
+        /// Index of the offending device within the fleet.
+        device: usize,
+        /// The device-level rejection.
+        source: Box<ConfigError>,
+    },
+    /// A fault specification is unusable (device out of range, bad
+    /// factor, …).
+    BadFault {
+        /// Index into the fault list.
+        index: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -162,11 +198,32 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "sched_cpi must be finite and positive, got {cpi}")
             }
             ConfigError::ZeroWaitTimeout => write!(f, "wait_timeout must be nonzero"),
+            ConfigError::NoDevices => write!(f, "a fleet needs at least one device"),
+            ConfigError::DuplicateDeviceId { id } => {
+                write!(f, "fleet device id {id} is used more than once")
+            }
+            ConfigError::DeviceIdCountMismatch { ids, devices } => {
+                write!(f, "{ids} device id(s) given for {devices} device(s)")
+            }
+            ConfigError::ZeroRunAhead => write!(f, "run_ahead window must be nonzero"),
+            ConfigError::FleetDevice { device, source } => {
+                write!(f, "fleet device {device} configuration invalid: {source}")
+            }
+            ConfigError::BadFault { index, reason } => {
+                write!(f, "fault spec {index} invalid: {reason}")
+            }
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::FleetDevice { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Fluent constructor for [`PagodaConfig`]; invalid combinations are
 /// rejected at [`build`](Self::build) instead of panicking inside the
@@ -331,5 +388,24 @@ mod tests {
         assert!(ConfigError::ZeroWaitTimeout
             .to_string()
             .contains("wait_timeout"));
+        assert!(ConfigError::ZeroRunAhead.to_string().contains("run_ahead"));
+        assert!(ConfigError::DuplicateDeviceId { id: 7 }
+            .to_string()
+            .contains('7'));
+    }
+
+    #[test]
+    fn fleet_device_error_chains_source() {
+        use std::error::Error as _;
+        let e = ConfigError::FleetDevice {
+            device: 2,
+            source: Box::new(ConfigError::ZeroRows),
+        };
+        assert!(e.to_string().contains("device 2"));
+        assert!(e.to_string().contains("rows_per_column"));
+        assert!(matches!(
+            e.source().unwrap().downcast_ref::<ConfigError>(),
+            Some(ConfigError::ZeroRows)
+        ));
     }
 }

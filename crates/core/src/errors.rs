@@ -80,6 +80,14 @@ pub enum PagodaError {
     Submit(SubmitError),
     /// A configuration failed validation.
     Config(ConfigError),
+    /// The task's device died and the retry policy gave up (cluster
+    /// layer: `RetryPolicy::Fail`, or `Resubmit` past `max_attempts`).
+    TaskLost {
+        /// The lost task's id.
+        task: TaskId,
+        /// Spawn attempts made before giving up (≥ 1).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for PagodaError {
@@ -91,6 +99,10 @@ impl std::fmt::Display for PagodaError {
             ),
             PagodaError::Submit(e) => write!(f, "submit failed: {e}"),
             PagodaError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PagodaError::TaskLost { task, attempts } => write!(
+                f,
+                "task {task:?} lost to a device failure after {attempts} attempt(s)"
+            ),
         }
     }
 }
@@ -101,6 +113,7 @@ impl std::error::Error for PagodaError {
             PagodaError::UnknownTask { .. } => None,
             PagodaError::Submit(e) => Some(e),
             PagodaError::Config(e) => Some(e),
+            PagodaError::TaskLost { .. } => None,
         }
     }
 }

@@ -1,0 +1,138 @@
+//! Bounded run-ahead windows for multi-instance simulations.
+//!
+//! When several independent [`Engine`](crate::Engine)-driven instances are
+//! stepped under one shared clock, each instance may simulate *ahead* of
+//! the others without exchanging state — but only up to the next point
+//! where cross-instance effects could matter. [`Horizon`] captures that
+//! contract as a quantum: it slices a fleet-time interval into successive
+//! windows of at most `quantum` each, and the driver synchronizes (merges
+//! cross-instance effects deterministically) at every window end.
+//!
+//! The window sequence is a pure function of `(from, to, quantum)`, so a
+//! serial driver and a parallel driver that both iterate the same horizon
+//! observe the same synchronization instants — a prerequisite for
+//! byte-identical results.
+
+use crate::time::{Dur, SimTime};
+
+/// A run-ahead quantum: how far instances may simulate past the last
+/// synchronization point before the next merge.
+///
+/// ```
+/// use desim::{Dur, Horizon, SimTime};
+///
+/// let h = Horizon::new(Dur::from_us(10));
+/// let ends: Vec<_> = h.windows(SimTime::from_us(5), SimTime::from_us(28)).collect();
+/// assert_eq!(ends, vec![
+///     SimTime::from_us(15),
+///     SimTime::from_us(25),
+///     SimTime::from_us(28), // final window is clipped to the target
+/// ]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Horizon {
+    quantum: Dur,
+}
+
+impl Horizon {
+    /// Creates a horizon with the given quantum.
+    ///
+    /// # Panics
+    /// Panics if `quantum` is zero — a zero-width window would never make
+    /// progress. Validating configs should reject this before reaching
+    /// the simulator (see `ClusterConfig::builder`).
+    pub fn new(quantum: Dur) -> Self {
+        assert!(
+            quantum > Dur::from_ps(0),
+            "Horizon quantum must be positive"
+        );
+        Horizon { quantum }
+    }
+
+    /// The run-ahead quantum.
+    pub fn quantum(&self) -> Dur {
+        self.quantum
+    }
+
+    /// Iterator over successive window-*end* instants covering
+    /// `(from, to]`: each end is `min(prev + quantum, to)`. Empty when
+    /// `from >= to`.
+    pub fn windows(&self, from: SimTime, to: SimTime) -> Windows {
+        Windows {
+            cur: from,
+            to,
+            quantum: self.quantum,
+        }
+    }
+}
+
+/// Iterator returned by [`Horizon::windows`].
+#[derive(Debug, Clone)]
+pub struct Windows {
+    cur: SimTime,
+    to: SimTime,
+    quantum: Dur,
+}
+
+impl Iterator for Windows {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.cur >= self.to {
+            return None;
+        }
+        let end = (self.cur + self.quantum).min(self.to);
+        self.cur = end;
+        Some(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_interval_into_quantum_windows() {
+        let h = Horizon::new(Dur::from_us(10));
+        let ends: Vec<_> = h.windows(SimTime::ZERO, SimTime::from_us(25)).collect();
+        assert_eq!(
+            ends,
+            vec![
+                SimTime::from_us(10),
+                SimTime::from_us(20),
+                SimTime::from_us(25)
+            ]
+        );
+    }
+
+    #[test]
+    fn exact_multiple_has_no_stub_window() {
+        let h = Horizon::new(Dur::from_us(5));
+        let ends: Vec<_> = h
+            .windows(SimTime::from_us(5), SimTime::from_us(15))
+            .collect();
+        assert_eq!(ends, vec![SimTime::from_us(10), SimTime::from_us(15)]);
+    }
+
+    #[test]
+    fn empty_interval_yields_nothing() {
+        let h = Horizon::new(Dur::from_us(5));
+        assert_eq!(
+            h.windows(SimTime::from_us(9), SimTime::from_us(9)).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn single_window_when_quantum_covers_interval() {
+        let h = Horizon::new(Dur::from_us(100));
+        let ends: Vec<_> = h.windows(SimTime::ZERO, SimTime::from_us(7)).collect();
+        assert_eq!(ends, vec![SimTime::from_us(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_quantum_panics() {
+        Horizon::new(Dur::from_ps(0));
+    }
+}

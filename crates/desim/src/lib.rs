@@ -27,9 +27,11 @@
 //! the GPU warp engine, which must invalidate predicted completion events
 //! whenever the resident-warp set of an SMM changes.
 
+mod horizon;
 mod sync;
 mod time;
 
+pub use horizon::{Horizon, Windows};
 pub use sync::ClockMap;
 pub use time::{Dur, SimTime};
 
@@ -275,6 +277,18 @@ impl<E> Engine<E> {
         self.now = t;
     }
 }
+
+// An engine over `Send` events is itself `Send` (the pop hook is already
+// constrained to `Send`), so whole simulated instances can be stepped on
+// worker threads by a parallel fleet driver. This assertion keeps the
+// property from regressing silently if a non-`Send` field is added.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn engine_is_send<E: Send>() {
+        assert_send::<Engine<E>>();
+    }
+};
 
 #[cfg(test)]
 mod tests {

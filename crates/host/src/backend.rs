@@ -1,0 +1,187 @@
+//! The [`Backend`] trait: the one task-execution surface every Pagoda
+//! executor exposes.
+//!
+//! The serving loop (`pagoda-serve`), the examples, and the benches were
+//! originally written against [`PagodaRuntime`]; the fleet manager
+//! (`pagoda-cluster`) then grew a near-duplicate API and a `ServeBackend`
+//! adapter to look like one. This trait replaces both: a single runtime
+//! and an N-device fleet implement the same narrow surface — non-blocking
+//! `submit`, `capacity` probe, completion `check`/`wait`, clock control,
+//! `sync` — and everything above them is generic over `B: Backend`.
+//!
+//! Task keys are plain `u64`s: a single runtime uses its `TaskId` values,
+//! a cluster uses fleet-unique keys that never collide across devices.
+//! All simulated time is the backend's own clock ([`Backend::now`]);
+//! implementations must be deterministic for the
+//! records-are-byte-identical contract to hold.
+
+use desim::{Dur, SimTime};
+use pagoda_core::trace::TaskTrace;
+use pagoda_core::{Capacity, PagodaError, PagodaRuntime, SubmitError, TaskDesc, TaskId};
+use pagoda_obs::Obs;
+
+/// The executor surface behind the serving loop, the examples, and the
+/// benches. Implemented by `PagodaRuntime` (one simulated device) and by
+/// `pagoda-cluster`'s `ClusterHandle` (an N-device fleet).
+pub trait Backend {
+    /// Non-blocking spawn of `desc` on behalf of `tenant` (a routing
+    /// hint; a single runtime ignores it). Returns a backend-unique task
+    /// key, or hands the descriptor back via [`SubmitError::Full`].
+    fn submit(&mut self, tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError>;
+
+    /// Admission headroom in the backend's current view.
+    fn capacity(&self) -> Capacity;
+
+    /// Non-blocking completion check: refreshes the host view and reports
+    /// whether `key` has finished. Errors on keys this backend never
+    /// issued, or on tasks lost to a device failure.
+    fn check(&mut self, key: u64) -> Result<bool, PagodaError>;
+
+    /// Blocks (in simulated time) until `key` completes, returning the
+    /// instant its output landed in host memory. Errors on unknown or
+    /// lost tasks.
+    fn wait(&mut self, key: u64) -> Result<SimTime, PagodaError>;
+
+    /// Whether the completion of `key` has been observed host-side.
+    /// Unlike [`Backend::check`] this neither syncs nor costs simulated
+    /// time — it reads the current host view.
+    ///
+    /// # Panics
+    /// May panic if `key` was not issued by this backend.
+    fn observed_done(&self, key: u64) -> bool;
+
+    /// When `key`'s output landed in host memory; `None` until its
+    /// completion has been observed.
+    fn completion_time(&self, key: u64) -> Option<SimTime>;
+
+    /// The backend's current clock.
+    fn now(&self) -> SimTime;
+
+    /// Idles the backend to `t` (no-op if in the past), co-simulating
+    /// whatever it owns up to that instant.
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Refreshes the host view of completions (the §4.2.2 aggregate
+    /// copy-back, fleet-wide for a cluster). Costs simulated time.
+    fn sync(&mut self);
+
+    /// The polling slice loops idle for when blocked on capacity.
+    fn wait_timeout(&self) -> Dur;
+
+    /// Mean fraction of device warp slots doing useful work so far.
+    fn warp_occupancy(&mut self) -> f64;
+
+    /// Runtime-level timelines of spawned tasks, in spawn order. May be
+    /// empty for backends whose task keys do not map to one runtime's
+    /// trace ids (a cluster exports per-device timelines via `pagoda-obs`
+    /// instead).
+    fn traces(&self) -> Vec<TaskTrace>;
+
+    /// Attaches an observability sink; events from here on flow to it.
+    fn attach_obs(&mut self, obs: Obs);
+}
+
+impl Backend for PagodaRuntime {
+    fn submit(&mut self, _tenant: u32, desc: TaskDesc) -> Result<u64, SubmitError> {
+        PagodaRuntime::submit(self, desc).map(|id| id.0)
+    }
+
+    fn capacity(&self) -> Capacity {
+        PagodaRuntime::capacity(self)
+    }
+
+    fn check(&mut self, key: u64) -> Result<bool, PagodaError> {
+        PagodaRuntime::check(self, TaskId(key))
+    }
+
+    fn wait(&mut self, key: u64) -> Result<SimTime, PagodaError> {
+        PagodaRuntime::wait(self, TaskId(key))?;
+        Ok(self
+            .trace(TaskId(key))?
+            .output_done
+            .expect("invariant: wait returned, so the output landed"))
+    }
+
+    fn observed_done(&self, key: u64) -> bool {
+        PagodaRuntime::observed_done(self, TaskId(key))
+            .expect("invariant: callers only pass keys this runtime issued")
+    }
+
+    fn completion_time(&self, key: u64) -> Option<SimTime> {
+        self.trace(TaskId(key))
+            .expect("invariant: callers only pass keys this runtime issued")
+            .output_done
+    }
+
+    fn now(&self) -> SimTime {
+        self.host_now()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        PagodaRuntime::advance_to(self, t);
+    }
+
+    fn sync(&mut self) {
+        self.sync_table();
+    }
+
+    fn wait_timeout(&self) -> Dur {
+        self.config().wait_timeout
+    }
+
+    fn warp_occupancy(&mut self) -> f64 {
+        self.report().avg_running_occupancy
+    }
+
+    fn traces(&self) -> Vec<TaskTrace> {
+        PagodaRuntime::traces(self)
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        PagodaRuntime::attach_obs(self, obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WarpWork;
+
+    #[test]
+    fn runtime_backend_round_trips_a_task() {
+        let mut rt = PagodaRuntime::titan_x();
+        let b: &mut dyn Backend = &mut rt;
+        assert!(b.capacity().has_room());
+        let key = b
+            .submit(0, TaskDesc::uniform(64, WarpWork::compute(10_000, 8.0)))
+            .expect("empty table accepts");
+        assert!(!b.observed_done(key));
+        assert_eq!(b.completion_time(key), None);
+        let mut guard = 0;
+        while !b.check(key).expect("key was issued") {
+            let t = b.now() + b.wait_timeout();
+            b.advance_to(t);
+            guard += 1;
+            assert!(guard < 10_000, "task never completed");
+        }
+        let done = b.completion_time(key).expect("observed done has a time");
+        assert!(done <= b.now());
+        assert_eq!(b.traces().len(), 1);
+    }
+
+    #[test]
+    fn runtime_backend_wait_returns_completion_instant() {
+        let mut rt = PagodaRuntime::titan_x();
+        let b: &mut dyn Backend = &mut rt;
+        let key = b
+            .submit(0, TaskDesc::uniform(64, WarpWork::compute(10_000, 8.0)))
+            .expect("empty table accepts");
+        let done = Backend::wait(b, key).expect("key was issued");
+        assert_eq!(b.completion_time(key), Some(done));
+        assert!(done <= b.now());
+        assert!(matches!(
+            b.check(u64::MAX),
+            Err(PagodaError::UnknownTask { .. })
+        ));
+    }
+}

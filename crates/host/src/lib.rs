@@ -19,6 +19,11 @@
 //!   one-way DMA writes. This contrast is the point — the TaskTable
 //!   protocol *is* the price of PCIe.
 //!
+//! The crate also defines [`Backend`], the host-side trait every Pagoda
+//! executor implements (`PagodaRuntime` here; `ClusterHandle` in
+//! `pagoda-cluster`) so serving loops, examples, and benches are generic
+//! over one surface.
+//!
 //! ```
 //! use pagoda_host::HostPagoda;
 //! use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,7 +41,10 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
 //! ```
 
+mod backend;
 mod slots;
+
+pub use backend::Backend;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -172,6 +172,10 @@ pub enum Counter {
     ClusterOffAffinity,
     /// Tasks resubmitted to another device after their device died.
     ClusterResubmits,
+    /// Inter-device staging transfers actually charged (off-home
+    /// placements that really crossed devices — a resubmit landing back
+    /// on the device that already holds the task's data pays nothing).
+    ClusterStagedTransfers,
     /// Tasks lost to a device failure (reported failed, not resubmitted).
     ClusterTasksLost,
     /// Device kill faults applied.
@@ -182,7 +186,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, declaration order. `Counter as usize` indexes this.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 22] = [
         Counter::PcieH2dTransactions,
         Counter::PcieD2hTransactions,
         Counter::PcieH2dBytes,
@@ -201,6 +205,7 @@ impl Counter {
         Counter::ClusterPlacements,
         Counter::ClusterOffAffinity,
         Counter::ClusterResubmits,
+        Counter::ClusterStagedTransfers,
         Counter::ClusterTasksLost,
         Counter::ClusterDeviceKills,
         Counter::ClusterDeviceSlowdowns,
@@ -227,6 +232,7 @@ impl Counter {
             Counter::ClusterPlacements => "cluster_placements",
             Counter::ClusterOffAffinity => "cluster_off_affinity",
             Counter::ClusterResubmits => "cluster_resubmits",
+            Counter::ClusterStagedTransfers => "cluster_staged_transfers",
             Counter::ClusterTasksLost => "cluster_tasks_lost",
             Counter::ClusterDeviceKills => "cluster_device_kills",
             Counter::ClusterDeviceSlowdowns => "cluster_device_slowdowns",

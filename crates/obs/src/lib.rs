@@ -43,4 +43,4 @@ pub mod recorder;
 
 pub use events::{Counter, DeviceSample, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
 pub use export::{summarize, write_chrome_trace, ObsSummary};
-pub use recorder::{MemRecorder, NullRecorder, Obs, ObsBuffer, Recorder};
+pub use recorder::{MemRecorder, NullRecorder, Obs, ObsBuffer, ObsFork, Recorder};

@@ -59,6 +59,44 @@ pub trait Recorder {
     fn retains(&self) -> bool {
         true
     }
+
+    /// Creates a private buffer a worker thread records into while it
+    /// runs ahead of the merge point. Parallel drivers hand each worker a
+    /// fork so workers never contend on (or interleave nondeterministically
+    /// into) the shared recorder; [`Recorder::join`] folds the buffer back
+    /// in a deterministic order chosen by the driver.
+    fn fork(&self) -> MemRecorder {
+        MemRecorder::new()
+    }
+
+    /// Merges a fork's buffered events into this recorder, replaying each
+    /// stream in capture order (tasks, tenants, SMM, MTB, devices, then
+    /// counter totals). Joining forks in a deterministic sequence
+    /// reproduces the per-stream event order of an equivalent serial run.
+    fn join(&self, fork: &MemRecorder) {
+        let g = fork.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for ev in &g.tasks {
+            self.task(*ev);
+        }
+        for tag in &g.tenants {
+            self.tenant(*tag);
+        }
+        for s in &g.smm {
+            self.smm(*s);
+        }
+        for s in &g.mtb {
+            self.mtb(*s);
+        }
+        for s in &g.devices {
+            self.device(*s);
+        }
+        for c in Counter::ALL {
+            let total = g.counts[c as usize];
+            if total > 0 {
+                self.count(c, total);
+            }
+        }
+    }
 }
 
 /// A recorder that receives and drops everything. Exists to measure the
@@ -323,6 +361,55 @@ impl Obs {
             r.count(c, delta);
         }
     }
+
+    /// Splits off a private buffer for one worker thread of a parallel
+    /// driver. The returned fork's [`ObsFork::obs`] handle records into
+    /// the buffer; [`Obs::join`] folds it back into this handle's
+    /// recorder. When nothing is retained (disabled handle or a
+    /// [`NullRecorder`]), the fork is a pass-through clone — no buffer is
+    /// allocated and join is a no-op — preserving the zero-cost contract.
+    pub fn fork(&self) -> ObsFork {
+        match &self.rec {
+            Some(r) if r.retains() => {
+                let buf = Arc::new(r.fork());
+                ObsFork {
+                    obs: Obs::new(buf.clone()),
+                    buf: Some(buf),
+                }
+            }
+            _ => ObsFork {
+                obs: self.clone(),
+                buf: None,
+            },
+        }
+    }
+
+    /// Merges a fork produced by [`Obs::fork`] back into this handle's
+    /// recorder (see [`Recorder::join`] for the replay order). Call once
+    /// per fork, in the deterministic order the driver defines.
+    pub fn join(&self, fork: ObsFork) {
+        if let (Some(r), Some(buf)) = (&self.rec, &fork.buf) {
+            r.join(buf);
+        }
+    }
+}
+
+/// A per-worker observability buffer split off a parent [`Obs`] handle.
+/// Workers record through [`ObsFork::obs`]; the driver merges forks back
+/// with [`Obs::join`] in a deterministic order. Sendable to a worker
+/// thread; must not outlive the join (events left in an unjoined fork are
+/// dropped).
+#[derive(Debug)]
+pub struct ObsFork {
+    obs: Obs,
+    buf: Option<Arc<MemRecorder>>,
+}
+
+impl ObsFork {
+    /// The handle the worker records through.
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +490,62 @@ mod tests {
         obs.task(1, 1, TaskState::Spawned);
         rec.reset();
         assert!(rec.snapshot().tasks.is_empty());
+    }
+
+    #[test]
+    fn fork_join_reproduces_serial_stream_order() {
+        // Serial reference: one handle, events in driver order.
+        let serial = {
+            let (obs, rec) = Obs::recording();
+            for d in 0..3u64 {
+                obs.task(d * 10, d, TaskState::Spawned);
+                obs.count(Counter::TasksSpawned, 1);
+            }
+            rec.snapshot().to_json()
+        };
+        // Parallel shape: one fork per "device", recorded out of driver
+        // order (as threads would), joined back in driver order.
+        let parallel = {
+            let (obs, rec) = Obs::recording();
+            let forks: Vec<_> = (0..3u64).map(|_| obs.fork()).collect();
+            for d in [2u64, 0, 1] {
+                let o = forks[d as usize].obs();
+                o.task(d * 10, d, TaskState::Spawned);
+                o.count(Counter::TasksSpawned, 1);
+            }
+            for f in forks {
+                obs.join(f);
+            }
+            rec.snapshot().to_json()
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fork_of_disabled_handle_is_passthrough() {
+        let obs = Obs::off();
+        let f = obs.fork();
+        assert!(!f.obs().enabled());
+        obs.join(f); // no-op, must not panic
+
+        // NullRecorder: dispatch still works through the fork, nothing
+        // is buffered (retains() == false → pass-through clone).
+        let null = Obs::new(Arc::new(NullRecorder));
+        let f = null.fork();
+        f.obs().count(Counter::EngineEvents, 1);
+        assert!(!f.obs().enabled());
+        null.join(f);
+    }
+
+    #[test]
+    fn join_merges_counters_once() {
+        let (obs, rec) = Obs::recording();
+        let f = obs.fork();
+        f.obs().count(Counter::ClusterPlacements, 5);
+        f.obs().count(Counter::ClusterPlacements, 2);
+        obs.count(Counter::ClusterPlacements, 1); // parent concurrently
+        obs.join(f);
+        assert_eq!(rec.snapshot().counter(Counter::ClusterPlacements), 8);
     }
 
     #[test]

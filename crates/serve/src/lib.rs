@@ -22,10 +22,10 @@
 //!   p50/p95/p99 sojourn aggregates, integrated with
 //!   [`pagoda_core::trace`] timelines;
 //! * [`error`] — the typed [`ServeError`] returned by the entry points;
-//! * [`server`] — the deterministic discrete-event loop driving the
-//!   runtime through its non-blocking spawn probe
-//!   ([`pagoda_core::PagodaRuntime::submit`] /
-//!   [`pagoda_core::PagodaRuntime::capacity`]).
+//! * [`server`] — the deterministic discrete-event loop driving any
+//!   [`Backend`] (a single [`pagoda_core::PagodaRuntime`] via [`serve`],
+//!   or an N-device fleet via [`server::serve_on`]) through its
+//!   non-blocking spawn probe.
 //!
 //! Same config + same seed ⇒ byte-identical records; the serving layer
 //! inherits the determinism of the simulation substrate. Set
@@ -53,7 +53,6 @@
 
 pub mod admission;
 pub mod arrival;
-pub mod backend;
 pub mod error;
 pub mod metrics;
 pub mod qos;
@@ -61,9 +60,9 @@ pub mod server;
 
 pub use admission::Admission;
 pub use arrival::{ArrivalGen, ArrivalSpec};
-pub use backend::ServeBackend;
 pub use error::ServeError;
 pub use metrics::{percentile, Outcome, ServeReport, TaskRecord, TenantReport};
+pub use pagoda_host::Backend;
 pub use qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
 pub use server::{
     calibrate_capacity, serve, serve_on, serving_slice, Policy, ServeConfig, ServeOutcome,

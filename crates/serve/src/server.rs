@@ -23,12 +23,12 @@
 use desim::Dur;
 use pagoda_core::trace::TaskTrace;
 use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc};
+use pagoda_host::Backend;
 use pagoda_obs::{Counter, Obs};
 use workloads::{Bench, GenOpts};
 
 use crate::admission::Admission;
 use crate::arrival::{ArrivalGen, ArrivalSpec};
-use crate::backend::ServeBackend;
 use crate::error::ServeError;
 use crate::metrics::{tenant_report, Outcome, ServeReport, TaskRecord};
 use crate::qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
@@ -193,27 +193,27 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     }
     cfg.runtime.validate()?;
     let mut rt = PagodaRuntime::new(cfg.runtime.clone());
-    rt.attach_obs(cfg.obs.clone());
     serve_on(cfg, &mut rt)
 }
 
-/// [`serve`] over any [`ServeBackend`] — the same admission/QoS/dispatch
+/// [`serve`] over any [`Backend`] — the same admission/QoS/dispatch
 /// loop, executing on `rt` instead of a freshly built single runtime.
-/// `cfg.runtime` is ignored (the backend brings its own devices); the
-/// caller is responsible for attaching `cfg.obs` to the backend if it
-/// wants runtime-level events recorded alongside the serving counters.
+/// `cfg.runtime` is ignored (the backend brings its own devices);
+/// `cfg.obs` is attached to the backend so runtime-level events land in
+/// the same recorder as the serving counters.
 ///
 /// # Errors
 /// [`ServeError::NoTenants`] on an empty tenant list and
 /// [`ServeError::UnspawnableTask`] if a workload produces an invalid
 /// [`TaskDesc`].
-pub fn serve_on<B: ServeBackend + ?Sized>(
+pub fn serve_on<B: Backend + ?Sized>(
     cfg: &ServeConfig,
     rt: &mut B,
 ) -> Result<ServeOutcome, ServeError> {
     if cfg.tenants.is_empty() {
         return Err(ServeError::NoTenants);
     }
+    rt.attach_obs(cfg.obs.clone());
     let nt = cfg.tenants.len();
     let obs = cfg.obs.clone();
     let wait_timeout = rt.wait_timeout();

@@ -81,7 +81,7 @@ fn main() {
     assert_eq!(rep.tasks_lost, 0, "resubmit policy must lose nothing");
     assert!(keys
         .iter()
-        .all(|&k| fleet.status(k) == Ok(TaskStatus::Done)));
+        .all(|&k| matches!(fleet.status(k), Ok(TaskStatus::Done))));
 
     let buf = recorder.snapshot();
     println!(

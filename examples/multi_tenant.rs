@@ -102,8 +102,8 @@ fn main() {
     let out = if devices > 1 {
         let mut fleet = ClusterHandle::new(ClusterConfig::uniform(devices))
             .expect("uniform fleet config is valid");
-        let (out, rep) = serve_fleet(&cfg, &mut fleet).expect("valid serving config");
-        fleet_rep = Some(rep);
+        let out = serve_on(&cfg, &mut fleet).expect("valid serving config");
+        fleet_rep = Some(fleet.report());
         out
     } else {
         fleet_rep = None;

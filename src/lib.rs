@@ -91,14 +91,17 @@ pub mod prelude {
     pub use gpu_arch::{GpuSpec, TaskShape};
     pub use gpu_sim::{BlockWork, DeviceConfig, GpuDevice, KernelDesc, Segment, WarpWork};
     pub use pagoda_cluster::{
-        serve_fleet, ClusterConfig, ClusterError, ClusterHandle, FaultKind, FaultSpec, FleetReport,
+        ClusterConfig, ClusterConfigBuilder, ClusterHandle, FaultKind, FaultSpec, FleetReport,
         Placement, RetryPolicy, TaskStatus,
     };
     pub use pagoda_core::{
         Capacity, ConfigError, PagodaConfig, PagodaConfigBuilder, PagodaError, PagodaRuntime,
         SubmitError, TaskDesc, TaskError, TaskId,
     };
+    pub use pagoda_host::Backend;
     pub use pagoda_obs::{Counter, MemRecorder, Obs, ObsBuffer, Recorder, TaskState};
-    pub use pagoda_serve::{serve, ArrivalSpec, Policy, ServeConfig, ServeError, TenantSpec};
+    pub use pagoda_serve::{
+        serve, serve_on, ArrivalSpec, Policy, ServeConfig, ServeError, TenantSpec,
+    };
     pub use workloads::{Bench, GenOpts};
 }

@@ -1,18 +1,19 @@
 //! Workspace-local subset of the `rayon` API (offline build — see
 //! `vendor/README.md`).
 //!
-//! Implements the one pattern the workspace uses — `par_iter().map(f)
-//! .collect::<Vec<_>>()` — with real data parallelism: the input is
-//! split into contiguous chunks, one per available core, mapped on
-//! scoped threads, and reassembled **in input order**, so results are
-//! indistinguishable from the sequential map (rayon's own guarantee for
-//! indexed parallel iterators).
+//! Implements the two patterns the workspace uses — `par_iter().map(f)
+//! .collect::<Vec<_>>()` over a slice and `into_par_iter().map(f)
+//! .collect::<Vec<_>>()` over an owned `Vec` — with real data
+//! parallelism: the input is split into contiguous chunks, one per
+//! available core, mapped on scoped threads, and reassembled **in input
+//! order**, so results are indistinguishable from the sequential map
+//! (rayon's own guarantee for indexed parallel iterators).
 
 use std::num::NonZeroUsize;
 
 /// `use rayon::prelude::*;`
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
 /// Types whose references yield a parallel iterator (`.par_iter()`).
@@ -72,6 +73,29 @@ impl<T> FromOrderedParallel<T> for Vec<T> {
     }
 }
 
+/// Types that convert into a by-value parallel iterator
+/// (`.into_par_iter()`). The owned-items counterpart of
+/// [`IntoParallelRefIterator`]: items move onto worker threads, which is
+/// what lets a caller ship `&mut` borrows (wrapped in a work item) to
+/// one thread each.
+pub trait IntoParallelIterator {
+    /// Item type (owned).
+    type Item: Send;
+    /// The parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator consuming `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
 /// `.par_iter()` over a slice.
 pub struct SliceParIter<'a, T> {
     slice: &'a [T],
@@ -123,6 +147,58 @@ where
     }
 }
 
+/// `.into_par_iter()` over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn collect<C: FromOrderedParallel<T>>(self) -> C {
+        C::from_ordered(self.items)
+    }
+}
+
+impl<T, O, F> ParallelIterator for MapParIter<VecParIter<T>, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    type Item = O;
+
+    fn collect<C: FromOrderedParallel<O>>(self) -> C {
+        let mut items = self.inner.items;
+        let f = &self.f;
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return C::from_ordered(items.drain(..).map(f).collect());
+        }
+        let chunk = items.len().div_ceil(threads);
+        // Split the owned input into per-thread chunks, front to back, so
+        // reassembly in spawn order restores the input order.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut parts: Vec<Vec<O>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        C::from_ordered(parts.into_iter().flatten().collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -142,6 +218,40 @@ mod tests {
         assert!(out.is_empty());
         let one = vec![7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn into_parallel_map_preserves_order_and_moves_items() {
+        let input: Vec<String> = (0..5_000).map(|i| i.to_string()).collect();
+        let expect: Vec<usize> = input.iter().map(|s| s.len()).collect();
+        let par: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(par, expect);
+    }
+
+    #[test]
+    fn into_parallel_delivers_mut_borrows_exactly_once() {
+        let mut cells: Vec<u64> = vec![0; 257];
+        let work: Vec<(usize, &mut u64)> = cells.iter_mut().enumerate().collect();
+        let idx: Vec<usize> = work
+            .into_par_iter()
+            .map(|(i, c)| {
+                *c += i as u64 + 1;
+                i
+            })
+            .collect();
+        assert_eq!(idx, (0..257).collect::<Vec<_>>());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(*c, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn into_parallel_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
     }
 }
