@@ -12,7 +12,13 @@ run() {
 }
 
 run cargo build --release --workspace --offline
-run cargo test -q --workspace --offline
+
+# Property-test breadth floor: blocks trim their local case counts for
+# the simulator-heavy suites; CI raises every block back to at least 32
+# cases (PROPTEST_CASES never lowers a block's own setting). Persisted
+# *.proptest-regressions entries replay before novel cases either way —
+# see tests/proptest_stack.rs for how to pin a failing case.
+run env PROPTEST_CASES=32 cargo test -q --workspace --offline
 
 # rustfmt / clippy are optional components; skip gracefully where absent.
 if cargo fmt --version >/dev/null 2>&1; then
@@ -52,5 +58,22 @@ run cargo run --release --offline -p pagoda-bench --bin cluster_scaling -- --smo
 # serial wall-clock. On smaller hosts the speedup is recorded but not
 # gated — a 1-core box cannot speed anything up.
 run cargo run --release --offline -p pagoda-bench --bin cluster_scaling -- --smoke --parallel --out target/BENCH_parallel_smoke.json
+
+# Invariant checking (pagoda-check). Two gates, both exit nonzero on
+# failure:
+#
+#   mutation-smoke — seeds each known bug class into the fleet and
+#   asserts the checker flags every one (and that the unmutated
+#   baselines stay clean). This is the test of the tests: if a checker
+#   regression makes an invariant toothless, this catches it.
+#
+#   explore — runs the invariant-checked scenario sweep: every scenario
+#   serial + parallel with the checker teed into the recorder, byte-
+#   comparing the two drivers on top of the invariant verdicts. The
+#   default smoke sweep is a handful of scenarios; set
+#   PAGODA_CHECK_EXTENDED=1 to run the full seeds × placements ×
+#   run-ahead × fault-schedule grid (the bin reads the env itself).
+run cargo run --release --offline -p pagoda-check --bin pagoda_check -- mutation-smoke
+run cargo run --release --offline -p pagoda-check --bin pagoda_check -- explore
 
 echo "ci: all checks passed"

@@ -39,9 +39,9 @@
 //! (add `--smoke` for the CI-sized run).
 
 use gpu_sim::WarpWork;
+use pagoda_check::{CheckLimits, CheckRecorder};
 use pagoda_cluster::{ClusterConfig, ClusterHandle, Placement};
 use pagoda_core::{SubmitError, TaskDesc};
-use pagoda_obs::Obs;
 use pagoda_serve::{percentile, serve_on, Policy, ServeConfig, TenantSpec};
 use serde::Serialize;
 use workloads::Bench;
@@ -216,6 +216,9 @@ fn skew_run(policy: Placement, zipf_s: f64, tasks_per_tenant: usize) -> SkewPoin
 
 /// Runs a fault-laden, observability-recording batch under one driver
 /// and returns everything that must be byte-identical across drivers.
+/// The recorder is a [`CheckRecorder`]: the invariant checker rides the
+/// bench for free, so a fleet bug that happens not to perturb the byte
+/// comparison (both drivers wrong the same way) still fails the gate.
 fn equality_run(parallel: bool) -> (String, Vec<Option<f64>>, String) {
     let mut cfg = ClusterConfig::uniform(4);
     cfg.placement = Placement::PowerOfTwo;
@@ -230,7 +233,7 @@ fn equality_run(parallel: bool) -> (String, Vec<Option<f64>>, String) {
         device: 2,
         kind: pagoda_cluster::FaultKind::Kill,
     }];
-    let (obs, rec) = Obs::recording();
+    let (obs, rec) = CheckRecorder::recording(Some(CheckLimits::of(&cfg.devices[0])));
     let mut fleet = ClusterHandle::new(cfg).expect("equality config is valid");
     fleet.attach_obs(obs);
     let mut keys = Vec::new();
@@ -253,6 +256,11 @@ fn equality_run(parallel: bool) -> (String, Vec<Option<f64>>, String) {
         }
     }
     fleet.wait_all();
+    let violations = rec.finish();
+    assert!(
+        violations.is_empty(),
+        "invariants broken during the equality run: {violations:?}"
+    );
     let times: Vec<Option<f64>> = keys
         .iter()
         .map(|&k| fleet.completion_time(k).map(|t| t.as_us_f64()))

@@ -33,11 +33,12 @@ use pagoda_core::{
     Capacity, ConfigError, PagodaError, PagodaRuntime, SubmitError, TaskDesc, TaskId,
 };
 use pagoda_host::Backend;
-use pagoda_obs::{Counter, DeviceSample, Obs, ObsFork, TaskState};
+use pagoda_obs::{Counter, DeviceSample, Obs, ObsFork, SyncKind, TaskState};
 use pcie::{Direction, PcieConfig};
 use rayon::prelude::*;
 
 use crate::config::{ClusterConfig, FaultKind, FaultSpec, RetryPolicy};
+use crate::mutation::Mutation;
 use crate::placement::{DeviceView, Placer};
 
 /// Where a cluster task currently is in its fleet-level lifecycle.
@@ -241,6 +242,7 @@ pub struct ClusterHandle {
     run_ahead: Dur,
     parallel: bool,
     obs: Obs,
+    mutation: Option<Mutation>,
     placements: u64,
     off_affinity: u64,
     staged: u64,
@@ -300,6 +302,7 @@ impl ClusterHandle {
             run_ahead: cfg.run_ahead,
             parallel: cfg.parallel,
             obs: Obs::off(),
+            mutation: None,
             placements: 0,
             off_affinity: 0,
             staged: 0,
@@ -316,6 +319,14 @@ impl ClusterHandle {
     /// device-local task ids would collide across the fleet.
     pub fn attach_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Seeds one deliberate bug ([`Mutation`]) into the fleet's merge /
+    /// accounting paths. Test-only instrumentation for validating
+    /// invariant checkers — never set by configuration. See the
+    /// [`mutation`](crate::mutation) module.
+    pub fn inject_mutation(&mut self, m: Mutation) {
+        self.mutation = Some(m);
     }
 
     /// Number of devices configured (dead ones included).
@@ -448,8 +459,13 @@ impl ClusterHandle {
             self.obs.count(Counter::ClusterOffAffinity, 1);
         }
         if staged {
-            self.staged += 1;
-            self.obs.count(Counter::ClusterStagedTransfers, 1);
+            let delta = if self.mutation == Some(Mutation::DoubleChargeStaging) {
+                2
+            } else {
+                1
+            };
+            self.staged += delta;
+            self.obs.count(Counter::ClusterStagedTransfers, delta);
         }
         if resubmit {
             self.tasks[key as usize].attempts += 1;
@@ -477,7 +493,12 @@ impl ClusterHandle {
     /// them, so the completion/resubmission sequence is identical
     /// however the scan was scheduled.
     pub fn sync(&mut self) {
-        let merged = self.sync_devices(true);
+        // The mark precedes the batch: everything applied before the
+        // next mark belongs to this sync point, and (gate honored) maps
+        // to a fleet instant at or before it.
+        self.obs.sync_mark(self.fleet_now.as_ps(), SyncKind::Sync);
+        let gate = self.mutation != Some(Mutation::SkipCausalGate);
+        let merged = self.sync_devices(gate);
         self.apply_completions(merged);
         self.sample_all();
         self.drain_pending();
@@ -530,7 +551,9 @@ impl ClusterHandle {
         // The fleet-level tie-break: completions apply in fleet-time
         // order, ties broken by device index then task key — the same
         // shape as the engine's (time, seq) ordering.
-        merged.sort_unstable();
+        if self.mutation != Some(Mutation::SkipMergeSort) {
+            merged.sort_unstable();
+        }
         merged
     }
 
@@ -664,6 +687,10 @@ impl ClusterHandle {
                 }
                 // Last harvest: completions already in host memory (or
                 // observable via one final copy-back) survive the kill.
+                // The mark tells causality checkers this batch is
+                // exempt from the harvest gate: the device's local
+                // clock may have run past the kill instant.
+                self.obs.sync_mark(at.as_ps(), SyncKind::KillHarvest);
                 self.devices[f.device].rt.sync_table();
                 let finished = {
                     let d = &mut self.devices[f.device];
@@ -682,6 +709,7 @@ impl ClusterHandle {
                 let stranded: Vec<u64> =
                     self.devices[f.device].outstanding.keys().copied().collect();
                 self.devices[f.device].outstanding.clear();
+                let mut dropped_one = false;
                 for key in stranded {
                     // The payload died with the device: a resubmission
                     // must stage again wherever it lands off-home.
@@ -693,6 +721,17 @@ impl ClusterHandle {
                         }
                     };
                     if retry {
+                        if self.mutation == Some(Mutation::DropResubmit) && !dropped_one {
+                            // Seeded bug: the task vanishes — no queue
+                            // entry, no loss record, no Freed event.
+                            // `unresolved` still drops so the run
+                            // terminates; only end-of-run conservation
+                            // can see the hole.
+                            dropped_one = true;
+                            self.tasks[key as usize].status = Status::Lost { at };
+                            self.unresolved -= 1;
+                            continue;
+                        }
                         self.tasks[key as usize].status = Status::Queued;
                         self.pending.push_back(key);
                     } else {
@@ -934,6 +973,10 @@ impl Backend for ClusterHandle {
 
     fn attach_obs(&mut self, obs: Obs) {
         ClusterHandle::attach_obs(self, obs);
+    }
+
+    fn engine_stats(&self) -> Vec<EngineStats> {
+        ClusterHandle::engine_stats(self)
     }
 }
 

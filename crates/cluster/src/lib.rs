@@ -63,9 +63,11 @@
 
 pub mod config;
 pub mod fleet;
+pub mod mutation;
 pub mod placement;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder, FaultKind, FaultSpec, RetryPolicy};
 pub use fleet::{ClusterHandle, DeviceReport, FleetReport, TaskStatus};
+pub use mutation::Mutation;
 pub use pagoda_host::Backend;
 pub use placement::{DeviceView, Placement, Placer};

@@ -84,6 +84,21 @@ impl PagodaConfig {
         self.num_mtbs() * self.rows_per_column
     }
 
+    /// Bytes of the buddy shared-memory pool each MTB statically
+    /// reserves: the largest power-of-two slice of its half of the SMM's
+    /// shared memory, capped at the paper's 32 KB (Titan X: exactly
+    /// 32 KB; K40: 16 KB of its 24 KB half, the rest holds the
+    /// scheduling structures). The runtime sizes its pools from this;
+    /// capacity checkers bound `MtbSample::free_smem` with it.
+    pub fn mtb_pool_bytes(&self) -> u32 {
+        let per_mtb = self.device.spec.smem_per_sm / 2;
+        if per_mtb >= 32 * 1024 {
+            32 * 1024
+        } else {
+            1u32 << (31 - per_mtb.leading_zeros())
+        }
+    }
+
     /// Starts a builder seeded with the defaults; [`build`](PagodaConfigBuilder::build)
     /// validates the result.
     pub fn builder() -> PagodaConfigBuilder {

@@ -154,17 +154,7 @@ impl PagodaRuntime {
     /// device (it fits every supported spec).
     pub fn new(cfg: PagodaConfig) -> Self {
         let mut device = GpuDevice::new(cfg.device.clone());
-        // Each SMM hosts two MTBs; each MTB statically reserves the
-        // largest power-of-two slice of its half of the SMM's shared
-        // memory, capped at the paper's 32 KB (Titan X: exactly 32 KB;
-        // K40: 16 KB of its 24 KB half, the rest holds the scheduling
-        // structures).
-        let per_mtb = cfg.device.spec.smem_per_sm / 2;
-        let smem_slice = if per_mtb >= 32 * 1024 {
-            32 * 1024
-        } else {
-            1u32 << (31 - per_mtb.leading_zeros())
-        };
+        let smem_slice = cfg.mtb_pool_bytes();
         let mk_shape = TaskShape {
             threads_per_tb: 1024,
             num_tbs: cfg.num_mtbs(),

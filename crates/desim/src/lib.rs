@@ -150,17 +150,35 @@ impl<E> Engine<E> {
         }
     }
 
-    /// Installs (or replaces) the event-pop observability hook. The hook
-    /// fires once per delivered event, after the clock advances — the
-    /// tap observability layers use to count engine events without the
-    /// engine depending on them.
-    pub fn set_pop_hook(&mut self, hook: Box<dyn FnMut(SimTime) + Send>) {
-        self.pop_hook = Some(hook);
+    /// Installs the event-pop observability hook, returning whatever hook
+    /// was installed before (or `None`). The hook fires once per
+    /// delivered event, after the clock advances — the tap observability
+    /// and invariant-checking layers use to watch engine events without
+    /// the engine depending on them. A layer that wants to *add* a tap
+    /// rather than replace one chains the returned hook inside its own:
+    ///
+    /// ```
+    /// # use desim::{Engine, SimTime};
+    /// # let mut eng: Engine<u32> = Engine::new();
+    /// let mut prev = eng.set_pop_hook(Box::new(|_| {}));
+    /// eng.set_pop_hook(Box::new(move |t: SimTime| {
+    ///     // ... this layer's tap ...
+    ///     if let Some(h) = prev.as_mut() {
+    ///         h(t);
+    ///     }
+    /// }));
+    /// ```
+    pub fn set_pop_hook(
+        &mut self,
+        hook: Box<dyn FnMut(SimTime) + Send>,
+    ) -> Option<Box<dyn FnMut(SimTime) + Send>> {
+        self.pop_hook.replace(hook)
     }
 
-    /// Removes the event-pop hook, restoring the zero-cost path.
-    pub fn clear_pop_hook(&mut self) {
-        self.pop_hook = None;
+    /// Removes the event-pop hook, restoring the zero-cost path. Returns
+    /// the removed hook, if any.
+    pub fn clear_pop_hook(&mut self) -> Option<Box<dyn FnMut(SimTime) + Send>> {
+        self.pop_hook.take()
     }
 
     /// Current virtual time. Advances only inside [`Engine::pop`].

@@ -15,7 +15,7 @@
 //! implementations must be deterministic for the
 //! records-are-byte-identical contract to hold.
 
-use desim::{Dur, SimTime};
+use desim::{Dur, EngineStats, SimTime};
 use pagoda_core::trace::TaskTrace;
 use pagoda_core::{Capacity, PagodaError, PagodaRuntime, SubmitError, TaskDesc, TaskId};
 use pagoda_obs::Obs;
@@ -79,6 +79,15 @@ pub trait Backend {
 
     /// Attaches an observability sink; events from here on flow to it.
     fn attach_obs(&mut self, obs: Obs);
+
+    /// Per-engine determinism fingerprints, one per simulated device in
+    /// a stable order: two runs of the same configuration must produce
+    /// identical vectors. Checkers and exploration harnesses compare
+    /// these across serial/parallel drivers. Defaults to empty for
+    /// backends without engines to fingerprint.
+    fn engine_stats(&self) -> Vec<EngineStats> {
+        Vec::new()
+    }
 }
 
 impl Backend for PagodaRuntime {
@@ -139,6 +148,10 @@ impl Backend for PagodaRuntime {
 
     fn attach_obs(&mut self, obs: Obs) {
         PagodaRuntime::attach_obs(self, obs);
+    }
+
+    fn engine_stats(&self) -> Vec<EngineStats> {
+        vec![PagodaRuntime::engine_stats(self)]
     }
 }
 

@@ -131,6 +131,33 @@ pub struct DeviceSample {
     pub alive: bool,
 }
 
+/// Why a fleet-level sync mark was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// A regular fleet synchronization point: every completion applied
+    /// after this mark (until the next one) must map to a fleet instant
+    /// at or before the mark — the causal-harvest gate.
+    Sync,
+    /// The final harvest of a killed device. Completions applied here may
+    /// legitimately map *past* the mark (the device's local clock ran
+    /// ahead of the fleet before it died), so causality checkers exempt
+    /// this batch.
+    KillHarvest,
+}
+
+/// A fleet synchronization point: the fleet clock at which a batch of
+/// cross-device effects (completions, losses) is about to be applied.
+/// Emitted by cluster-layer drivers so invariant checkers can validate
+/// the causal-harvest gate and the sorted-merge contract online without
+/// reaching into the fleet's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncMark {
+    /// Fleet clock at the sync point, picoseconds.
+    pub at_ps: u64,
+    /// What kind of sync point this is.
+    pub kind: SyncKind,
+}
+
 /// Monotonic counters. Each increments by an arbitrary delta; recorders
 /// accumulate totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]

@@ -41,6 +41,9 @@ pub mod events;
 pub mod export;
 pub mod recorder;
 
-pub use events::{Counter, DeviceSample, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
+pub use events::{
+    Counter, DeviceSample, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskState,
+    TenantTag,
+};
 pub use export::{summarize, write_chrome_trace, ObsSummary};
 pub use recorder::{MemRecorder, NullRecorder, Obs, ObsBuffer, ObsFork, Recorder};

@@ -14,7 +14,10 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
-use crate::events::{Counter, DeviceSample, MtbSample, SmmSample, TaskEvent, TaskState, TenantTag};
+use crate::events::{
+    Counter, DeviceSample, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskState,
+    TenantTag,
+};
 
 /// A sink for observability events. All methods take `&self` (recorders
 /// are shared behind an `Arc` across the host runtime, the device model,
@@ -44,6 +47,11 @@ pub trait Recorder {
     /// A fleet device's outstanding-task count or liveness changed.
     fn device(&self, s: DeviceSample) {
         let _ = s;
+    }
+
+    /// A fleet driver reached a synchronization point (cluster layer).
+    fn sync_mark(&self, m: SyncMark) {
+        let _ = m;
     }
 
     /// A counter advanced by `delta`.
@@ -90,6 +98,9 @@ pub trait Recorder {
         for s in &g.devices {
             self.device(*s);
         }
+        for m in &g.syncs {
+            self.sync_mark(*m);
+        }
         for c in Counter::ALL {
             let total = g.counts[c as usize];
             if total > 0 {
@@ -127,6 +138,8 @@ pub struct ObsBuffer {
     pub mtb: Vec<MtbSample>,
     /// Per-fleet-device samples (cluster layer).
     pub devices: Vec<DeviceSample>,
+    /// Fleet synchronization points (cluster layer), emission order.
+    pub syncs: Vec<SyncMark>,
     /// Final counter totals, keyed by [`Counter::name`]. Every counter is
     /// present (zeros included) so the layout is run-independent.
     pub counters: BTreeMap<String, u64>,
@@ -164,6 +177,7 @@ struct MemInner {
     smm: Vec<SmmSample>,
     mtb: Vec<MtbSample>,
     devices: Vec<DeviceSample>,
+    syncs: Vec<SyncMark>,
     counts: [u64; Counter::ALL.len()],
 }
 
@@ -195,6 +209,7 @@ impl MemRecorder {
             smm: g.smm.clone(),
             mtb: g.mtb.clone(),
             devices: g.devices.clone(),
+            syncs: g.syncs.clone(),
             counters,
         }
     }
@@ -256,6 +271,14 @@ impl Recorder for MemRecorder {
             .unwrap_or_else(|e| e.into_inner())
             .devices
             .push(s);
+    }
+
+    fn sync_mark(&self, m: SyncMark) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .syncs
+            .push(m);
     }
 
     fn count(&self, c: Counter, delta: u64) {
@@ -351,6 +374,14 @@ impl Obs {
     pub fn device(&self, s: DeviceSample) {
         if let Some(r) = &self.rec {
             r.device(s);
+        }
+    }
+
+    /// Records a fleet synchronization point.
+    #[inline]
+    pub fn sync_mark(&self, at_ps: u64, kind: SyncKind) {
+        if let Some(r) = &self.rec {
+            r.sync_mark(SyncMark { at_ps, kind });
         }
     }
 

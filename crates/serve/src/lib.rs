@@ -63,7 +63,7 @@ pub use arrival::{ArrivalGen, ArrivalSpec};
 pub use error::ServeError;
 pub use metrics::{percentile, Outcome, ServeReport, TaskRecord, TenantReport};
 pub use pagoda_host::Backend;
-pub use qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
+pub use qos::{Edf, Fifo, QosAudit, QosScheduler, QueuedTask, WeightedFair};
 pub use server::{
     calibrate_capacity, serve, serve_on, serving_slice, Policy, ServeConfig, ServeOutcome,
     TenantSpec,

@@ -32,6 +32,25 @@ pub struct QueuedTask {
     pub desc: TaskDesc,
 }
 
+/// A passive observer of scheduler traffic, for invariant checkers.
+///
+/// The serving loop calls these hooks around every [`QosScheduler`]
+/// interaction; an auditor mirrors the queue discipline and validates
+/// its ordering contract (FIFO arrival order, EDF deadline order)
+/// without touching the scheduler itself. Hooks take `&self` — the
+/// auditor is shared behind an `Arc` across the loop, so it brings its
+/// own interior mutability. All methods default to no-ops.
+pub trait QosAudit: std::fmt::Debug + Send + Sync {
+    /// A task was admitted and is entering the queue.
+    fn on_push(&self, _t: &QueuedTask) {}
+    /// The scheduler chose this task to spawn next.
+    fn on_pop(&self, _t: &QueuedTask) {}
+    /// A popped task is going *back* into the queue (dispatch raced
+    /// capacity away); for order-based disciplines it re-enters as if
+    /// newly arrived, so auditors must not flag its later re-pop.
+    fn on_requeue(&self, _t: &QueuedTask) {}
+}
+
 /// A queue discipline deciding which admitted task spawns next.
 pub trait QosScheduler {
     /// Display name of the policy.

@@ -31,7 +31,7 @@ use crate::admission::Admission;
 use crate::arrival::{ArrivalGen, ArrivalSpec};
 use crate::error::ServeError;
 use crate::metrics::{tenant_report, Outcome, ServeReport, TaskRecord};
-use crate::qos::{Edf, Fifo, QosScheduler, QueuedTask, WeightedFair};
+use crate::qos::{Edf, Fifo, QosAudit, QosScheduler, QueuedTask, WeightedFair};
 
 /// One tenant of the serving experiment.
 #[derive(Debug, Clone)]
@@ -134,6 +134,9 @@ pub struct ServeConfig {
     /// tags every spawned task with its tenant so exporters can draw one
     /// track per tenant. Defaults to [`Obs::off`].
     pub obs: Obs,
+    /// Passive scheduler-traffic observer ([`QosAudit`]); invariant
+    /// checkers hang here. `None` (the default) costs nothing.
+    pub qos_audit: Option<std::sync::Arc<dyn QosAudit>>,
 }
 
 impl ServeConfig {
@@ -149,6 +152,7 @@ impl ServeConfig {
             offered_load: 0.0,
             runtime: PagodaConfig::default(),
             obs: Obs::off(),
+            qos_audit: None,
         }
     }
 }
@@ -279,13 +283,17 @@ pub fn serve_on<B: Backend + ?Sized>(
                 deadline_missed: false,
             });
             if admitted {
-                sched.push(QueuedTask {
+                let qt = QueuedTask {
                     tenant: a.tenant,
                     seq: next_arr as u64,
                     arrival: a.at,
                     deadline: cfg.tenants[a.tenant].deadline.map(|d| a.at + d),
                     desc: a.desc.clone(),
-                });
+                };
+                if let Some(audit) = &cfg.qos_audit {
+                    audit.on_push(&qt);
+                }
+                sched.push(qt);
             }
             next_arr += 1;
         }
@@ -293,6 +301,9 @@ pub fn serve_on<B: Backend + ?Sized>(
         // 2. Dispatch into the TaskTable while it has room.
         while rt.capacity().has_room() {
             let Some(qt) = sched.pop() else { break };
+            if let Some(audit) = &cfg.qos_audit {
+                audit.on_pop(&qt);
+            }
             let QueuedTask {
                 tenant,
                 seq,
@@ -323,13 +334,17 @@ pub fn serve_on<B: Backend + ?Sized>(
                 Err(SubmitError::Full(desc)) => {
                     // Defensive: capacity raced away. Put the task back.
                     admission.requeue(tenant);
-                    sched.push(QueuedTask {
+                    let qt = QueuedTask {
                         tenant,
                         seq,
                         arrival,
                         deadline,
                         desc,
-                    });
+                    };
+                    if let Some(audit) = &cfg.qos_audit {
+                        audit.on_requeue(&qt);
+                    }
+                    sched.push(qt);
                     break;
                 }
                 Err(SubmitError::Invalid(source)) => {

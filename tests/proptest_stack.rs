@@ -1,6 +1,15 @@
 //! Property-based tests over the whole stack: random task mixes must
 //! always complete — no deadlock, no lost tasks, no protocol panic — and
 //! conservation laws must hold.
+//!
+//! # Regressions
+//!
+//! `proptest_stack.proptest-regressions` (sibling of this file) holds
+//! `cc` seed entries that replay before any novel case, for every test
+//! in this file. A failing case prints the exact `cc` line to append;
+//! see the format notes at the top of the regressions file. CI floors
+//! the per-block case counts with `PROPTEST_CASES` (ci.sh), so the
+//! trimmed local counts below still get breadth on every push.
 
 use pagoda::prelude::*;
 use proptest::prelude::*;
@@ -80,4 +89,25 @@ proptest! {
         let diff = (seq.makespan.as_secs_f64() - sum).abs();
         prop_assert!(diff < 1e-9, "makespan {} vs sum {}", seq.makespan.as_secs_f64(), sum);
     }
+}
+
+/// The checked-in regression seeds must actually load at test time —
+/// this is what makes the replay-before-novel-cases guarantee real in
+/// CI rather than an aspiration (a wrong path or format would silently
+/// replay nothing).
+#[test]
+fn persisted_regression_seeds_load_and_replay() {
+    let seeds = proptest::persistence::load_regressions(file!());
+    assert!(
+        seeds.len() >= 3,
+        "expected the checked-in cc entries next to this file, got {seeds:?}"
+    );
+    // The 16-hex entry is an exact seed; its value is pinned here so a
+    // format change in the parser cannot silently remap every entry.
+    assert!(
+        seeds.contains(&0xb17e),
+        "exact-seed entry cc 000000000000b17e must parse verbatim: {seeds:?}"
+    );
+    // Entries are deterministic: loading twice gives the same seeds.
+    assert_eq!(seeds, proptest::persistence::load_regressions(file!()));
 }

@@ -7,20 +7,29 @@
 //! `prop::collection::vec` / `prop::bool::ANY` strategies, and the
 //! `prop_assert*` family.
 //!
-//! Two deliberate simplifications versus upstream:
+//! Deliberate simplifications versus upstream:
 //!
 //! * **No shrinking.** A failing case reports its inputs (via the panic
 //!   message's case number and `Debug` of the generated values where the
 //!   assertion formats them) but is not minimized.
-//! * **Deterministic seeding.** Upstream seeds from OS entropy and
-//!   persists failures in `*.proptest-regressions` files; this runner
-//!   derives the seed from the test's name, so every CI run explores the
-//!   same cases. That trades discovery breadth for the reproducibility
-//!   this repository's tier-1 gate wants. (Existing regression files are
-//!   ignored.)
+//! * **Deterministic seeding.** Upstream seeds from OS entropy; this
+//!   runner derives every case's seed from the test's name and case
+//!   index ([`test_runner::case_seed`]), so every CI run explores the
+//!   same cases *and* any one case replays from its seed alone. That
+//!   trades discovery breadth for the reproducibility this repository's
+//!   tier-1 gate wants.
+//!
+//! Regression persistence works like upstream's: each test source file
+//! may have a sibling `*.proptest-regressions` file whose `cc` entries
+//! are replayed before any novel case (see [`persistence`]). A failing
+//! case prints the exact `cc` line to append. The `PROPTEST_CASES`
+//! environment variable floors the per-block case count
+//! ([`test_runner::ProptestConfig::effective_cases`]); CI sets it so
+//! trimmed-down blocks still get breadth on every push.
 
 pub mod bool;
 pub mod collection;
+pub mod persistence;
 pub mod prelude;
 pub mod strategy;
 pub mod test_runner;
@@ -56,24 +65,50 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::test_runner::ProptestConfig = $cfg;
-                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
                 // Evaluate each strategy expression once, as upstream does.
                 $(let $arg = $strat;)+
                 let __strats = ($(&$arg,)+);
-                for __case in 0..__cfg.cases {
+                let mut __run = |__seed: u64| {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
                     let ($($arg,)+) = {
                         let ($($arg,)+) = __strats;
                         ($($crate::strategy::Strategy::new_value($arg, &mut __rng),)+)
                     };
                     let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (move || { $body ::std::result::Result::Ok(()) })();
-                    match __outcome {
+                    __outcome
+                };
+                // Persisted failures first, exactly as upstream replays
+                // its *.proptest-regressions entries.
+                for __seed in $crate::persistence::load_regressions(file!()) {
+                    match __run(__seed) {
                         ::std::result::Result::Ok(()) => {}
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
                             panic!(
-                                "proptest case {}/{} of `{}` failed: {}",
-                                __case + 1, __cfg.cases, stringify!($name), __msg
+                                "persisted regression `{}` of `{}` failed: {}",
+                                $crate::persistence::cc_line(__seed), stringify!($name), __msg
+                            );
+                        }
+                    }
+                }
+                let __cases = __cfg.effective_cases();
+                for __case in 0..__cases {
+                    let __seed = $crate::test_runner::case_seed(stringify!($name), __case);
+                    match __run(__seed) {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case {}/{} of `{}` failed: {}\n\
+                                 pin it: append `{}` to {}.proptest-regressions \
+                                 (next to {})",
+                                __case + 1, __cases, stringify!($name), __msg,
+                                $crate::persistence::cc_line(__seed),
+                                ::std::path::Path::new(file!())
+                                    .file_stem().map(|s| s.to_string_lossy().into_owned())
+                                    .unwrap_or_default(),
+                                file!()
                             );
                         }
                     }

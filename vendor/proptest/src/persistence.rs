@@ -1,0 +1,122 @@
+//! Regression-file persistence: `*.proptest-regressions` replay.
+//!
+//! Upstream proptest writes one sibling file per test source file and
+//! re-runs every persisted `cc` entry before generating novel cases.
+//! This runner honors the same file format:
+//!
+//! ```text
+//! cc 0123456789abcdef                      # 16-hex: an exact case seed
+//! cc 06d3617a...e805235f                   # 64-hex: upstream persisted seed
+//! ```
+//!
+//! A 16-hex entry is a [`u64`] case seed exactly as this runner prints
+//! it on failure — replaying it regenerates the failing inputs
+//! byte-for-byte. A longer entry (upstream's 32-byte format, or any
+//! other hex blob) is folded to a deterministic `u64`, so legacy
+//! entries still pin a reproducible case even though the original
+//! upstream byte stream cannot be reconstructed.
+//!
+//! Entries are per *file*, not per test: every test in the file replays
+//! every entry, exactly as upstream does. The comment after `#` is for
+//! humans and is ignored.
+
+/// Case seeds persisted next to `test_file` (a `file!()` path).
+///
+/// Returns an empty list when no regression file exists — absence of
+/// the file is the common case, not an error.
+pub fn load_regressions(test_file: &str) -> Vec<u64> {
+    let path = regressions_path(test_file);
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines().filter_map(parse_cc_line).collect()
+}
+
+/// `<dir>/<stem>.proptest-regressions` for a test source path.
+fn regressions_path(test_file: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(test_file);
+    match p.file_stem() {
+        Some(stem) => p.with_file_name(format!("{}.proptest-regressions", stem.to_string_lossy())),
+        None => p.with_extension("proptest-regressions"),
+    }
+}
+
+/// Parses one `cc <hex> [# comment]` line; `None` for comments, blanks,
+/// and anything malformed (upstream is equally lenient).
+pub fn parse_cc_line(line: &str) -> Option<u64> {
+    let line = line.trim();
+    let rest = line.strip_prefix("cc ")?;
+    let hex = rest.split(['#', ' ']).next()?.trim();
+    if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    if hex.len() == 16 {
+        // Our own format: the case seed verbatim.
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        // Upstream (or foreign) entry: fold the hex bytes to a stable
+        // u64 so the entry still names one deterministic case.
+        Some(fold_hex(hex))
+    }
+}
+
+/// FNV-1a over the hex characters — stable across runs and platforms.
+fn fold_hex(hex: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in hex.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `cc` line that pins `seed`, ready to append to the regression
+/// file (printed in failure messages).
+pub fn cc_line(seed: u64) -> String {
+    format!("cc {seed:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_entries_round_trip_exactly() {
+        let seed = 0x0123_4567_89ab_cdef;
+        assert_eq!(parse_cc_line(&cc_line(seed)), Some(seed));
+        assert_eq!(
+            parse_cc_line("cc 0123456789abcdef # shrinks to x = 3"),
+            Some(seed)
+        );
+    }
+
+    #[test]
+    fn upstream_entries_fold_deterministically() {
+        let line = "cc 06d3617a7a512410cb1586083f190ccffd408a2a6fc9647ea84c6947e805235f # note";
+        let a = parse_cc_line(line).expect("64-hex entries parse");
+        let b = parse_cc_line(line).expect("64-hex entries parse");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn junk_lines_are_ignored() {
+        for line in [
+            "",
+            "# comment",
+            "cc",
+            "cc  ",
+            "cc nothex!",
+            "xx 0123456789abcdef",
+        ] {
+            assert_eq!(parse_cc_line(line), None, "line {line:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn regressions_path_is_a_sibling() {
+        assert_eq!(
+            regressions_path("tests/proptest_stack.rs"),
+            std::path::Path::new("tests/proptest_stack.proptest-regressions")
+        );
+    }
+}

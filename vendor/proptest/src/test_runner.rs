@@ -26,6 +26,21 @@ impl Default for ProptestConfig {
     }
 }
 
+impl ProptestConfig {
+    /// Cases to actually run: the configured count, floored by the
+    /// `PROPTEST_CASES` environment variable (as upstream honors it).
+    /// CI sets the floor so a block that locally trims to a handful of
+    /// cases still gets real coverage on every push; the env var never
+    /// *lowers* a block's own setting.
+    pub fn effective_cases(&self) -> u32 {
+        let floor = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(0);
+        self.cases.max(floor)
+    }
+}
+
 /// Why a case did not pass.
 #[derive(Debug)]
 pub enum TestCaseError {
@@ -37,24 +52,50 @@ pub enum TestCaseError {
 
 /// The deterministic RNG handed to strategies.
 ///
-/// Seeded from the test's name, so a given test explores the same case
-/// sequence on every run (see the crate docs for the trade-off).
+/// Each case gets its own seed, derived from the test's name and the
+/// case index ([`TestRng::for_case`]), so any single case replays from
+/// its seed alone — that seed is what `cc` regression entries persist.
 #[derive(Debug)]
 pub struct TestRng {
     rng: SmallRng,
 }
 
+/// FNV-1a over the test name: stable across runs and platforms.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The standalone seed of one case of a named test: the name hash mixed
+/// with the case index through a SplitMix64 round, so consecutive cases
+/// land far apart in seed space and any one replays independently.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut z = name_hash(name) ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl TestRng {
-    /// RNG for the named test.
+    /// RNG for the named test's whole run (legacy sequential seeding;
+    /// the [`crate::proptest!`] runner now seeds per case).
     pub fn for_test(name: &str) -> Self {
-        // FNV-1a over the name: stable across runs and platforms.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        TestRng::from_seed(name_hash(name))
+    }
+
+    /// RNG for case `case` of the named test.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        TestRng::from_seed(case_seed(name, case))
+    }
+
+    /// RNG replaying an explicit seed (persisted `cc` entries).
+    pub fn from_seed(seed: u64) -> Self {
         TestRng {
-            rng: SmallRng::seed_from_u64(h),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 
