@@ -74,6 +74,9 @@ struct SkewPoint {
 struct BenchReport {
     bench: String,
     smoke: bool,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// context for comparing timings across machines.
+    host_cores: usize,
     gate_devices: usize,
     gate_required: f64,
     gate_measured: f64,
@@ -449,6 +452,7 @@ fn main() {
     let report = BenchReport {
         bench: "cluster_scaling".into(),
         smoke,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         gate_devices: GATE_DEVICES,
         gate_required: gate,
         gate_measured: measured,

@@ -20,7 +20,8 @@
 //!
 //! Writes `BENCH_obs.json` (override with `--out PATH`) and exits
 //! nonzero if the NullRecorder regresses events/sec by more than the
-//! `--gate` percentage (default 5%) against the no-obs baseline.
+//! `--gate` percentage (default 5%; `--smoke` widens it to 15% because
+//! ~3 ms smoke reps are noise-dominated) against the no-obs baseline.
 //!
 //! Run with `cargo run --release -p pagoda-bench --bin obs_overhead`
 //! (add `--smoke` for the CI-sized run).
@@ -50,6 +51,9 @@ struct ModeResult {
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// context for comparing timings across machines.
+    host_cores: usize,
     tasks: u64,
     reps: u64,
     gate_pct: f64,
@@ -107,7 +111,16 @@ fn main() {
         match a.as_str() {
             "--smoke" => {
                 n = 768;
-                reps = 3;
+                reps = 7;
+                // Smoke reps last ~3 ms each, where scheduler interference
+                // on a shared CI box swings the measured overhead by tens
+                // of percentage points even best-of-reps (observed spread
+                // on a quiet 1-core host: -13% to +9%). Widen the gate so
+                // smoke only catches gross regressions; the real <=5%
+                // bound is enforced by full-size runs and the committed
+                // BENCH_obs.json. An explicit --gate after --smoke still
+                // overrides.
+                gate_pct = 15.0;
             }
             "--tasks" => {
                 n = args
@@ -140,7 +153,7 @@ fn main() {
     let modes: [(&str, ObsCtor); 3] = [
         ("off", Obs::off),
         ("null", || Obs::new(Arc::new(NullRecorder))),
-        ("mem", || Obs::new(Arc::new(MemRecorder::new()))),
+        ("mem", || Obs::with_mem(Arc::new(MemRecorder::new()))),
     ];
 
     // Warm up once (page cache, allocator), then interleave the reps so
@@ -179,6 +192,7 @@ fn main() {
 
     let report = BenchReport {
         bench: "obs_overhead".to_string(),
+        host_cores: std::thread::available_parallelism().map_or(1, |p| p.get()),
         tasks: n as u64,
         reps: reps as u64,
         gate_pct,

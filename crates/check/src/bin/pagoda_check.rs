@@ -4,6 +4,7 @@
 //! pagoda_check explore [--extended]     sweep scenarios under the checker
 //! pagoda_check mutation-smoke           assert seeded bugs are all caught
 //! pagoda_check replay [OPTIONS]         re-run one scenario (reproducers)
+//! pagoda_check fingerprint [--extended] dump per-scenario fingerprints
 //! ```
 //!
 //! `explore` checks every scenario under both fleet drivers
@@ -13,12 +14,13 @@
 //! `PAGODA_CHECK_EXTENDED=1`. Exit status is nonzero on any finding.
 
 use pagoda_check::{
-    check_scenario, explore, mutation_smoke, parse_fault, parse_placement, Scenario,
+    check_scenario, explore, mutation_smoke, parse_fault, parse_placement, run_one,
+    sweep_scenarios, Scenario,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pagoda_check <explore [--extended] | mutation-smoke | replay [OPTIONS]>\n\
+        "usage: pagoda_check <explore [--extended] | mutation-smoke | replay [OPTIONS] | fingerprint [--extended]>\n\
          replay options:\n\
            --devices N            fleet size (default 4)\n\
            --placement P          round-robin | least-outstanding | power-of-two | tenant-affinity\n\
@@ -167,6 +169,27 @@ fn replay_main(mut args: std::env::Args) -> i32 {
     }
 }
 
+/// Dumps every sweep scenario's serial and parallel fingerprints to
+/// stdout, one record per line. Capturing this before and after a
+/// hot-path change is how "byte-identical behavior" is audited: diff
+/// the dumps and every divergence is pinned to a scenario and driver.
+fn fingerprint_main(mut args: std::env::Args) -> i32 {
+    let mut extended = std::env::var("PAGODA_CHECK_EXTENDED").is_ok_and(|v| v == "1");
+    for a in args.by_ref() {
+        match a.as_str() {
+            "--extended" => extended = true,
+            _ => usage(),
+        }
+    }
+    for sc in sweep_scenarios(extended) {
+        for (label, parallel) in [("serial", false), ("parallel", true)] {
+            let out = run_one(&sc, None, parallel);
+            println!("{} [{label}] {}", sc.replay_cli(), out.fingerprint);
+        }
+    }
+    0
+}
+
 fn main() {
     let mut args = std::env::args();
     let _argv0 = args.next();
@@ -174,6 +197,7 @@ fn main() {
         Some("explore") => explore_main(args),
         Some("mutation-smoke") => smoke_main(),
         Some("replay") => replay_main(args),
+        Some("fingerprint") => fingerprint_main(args),
         _ => usage(),
     };
     std::process::exit(code);

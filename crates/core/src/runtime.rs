@@ -1066,11 +1066,7 @@ impl PagodaRuntime {
             return;
         }
         let m = &self.mtbs[mi];
-        let used = self
-            .gpu_table
-            .column(mi as u32)
-            .filter(|(_, st)| st.ready != Ready::Free)
-            .count() as u32;
+        let used = self.gpu_table.used_in_col(mi as u32);
         self.obs.mtb(MtbSample {
             at_ps: at.as_ps(),
             mtb: mi as u32,

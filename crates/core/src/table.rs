@@ -78,6 +78,11 @@ pub struct TaskTableSide {
     cols: u32,
     rows: u32,
     entries: Vec<EntryState>,
+    /// Non-free entries per column, maintained at every transition so
+    /// occupancy reads (per-MTB samples, capacity checks) need no scan.
+    used_per_col: Vec<u32>,
+    /// Non-free entries across the whole table.
+    used_total: u32,
 }
 
 impl TaskTableSide {
@@ -87,6 +92,8 @@ impl TaskTableSide {
             cols,
             rows,
             entries: vec![EntryState::default(); (cols * rows) as usize],
+            used_per_col: vec![0; cols as usize],
+            used_total: 0,
         }
     }
 
@@ -113,7 +120,24 @@ impl TaskTableSide {
     /// Raw write (used when applying a DMA-visible snapshot).
     pub fn set(&mut self, e: EntryIndex, s: EntryState) {
         let i = self.idx(e);
+        let was_free = self.entries[i].ready == Ready::Free;
+        let now_free = s.ready == Ready::Free;
         self.entries[i] = s;
+        match (was_free, now_free) {
+            (true, false) => self.occupy(e.col),
+            (false, true) => self.vacate(e.col),
+            _ => {}
+        }
+    }
+
+    fn occupy(&mut self, col: u32) {
+        self.used_per_col[col as usize] += 1;
+        self.used_total += 1;
+    }
+
+    fn vacate(&mut self, col: u32) {
+        self.used_per_col[col as usize] -= 1;
+        self.used_total -= 1;
     }
 
     /// CPU spawn (Fig. 2b step 1): claim a free entry, recording either
@@ -137,6 +161,7 @@ impl TaskTableSide {
             ready,
             sched: false,
         };
+        self.occupy(e.col);
     }
 
     /// GPU chain step, previous entry (Algorithm 1, lines 12-13):
@@ -201,6 +226,7 @@ impl TaskTableSide {
             self.entries[i]
         );
         self.entries[i] = EntryState::default();
+        self.vacate(e.col);
     }
 
     /// All entries of one column, row order (the scheduler warp's scan).
@@ -211,12 +237,15 @@ impl TaskTableSide {
         })
     }
 
-    /// Number of free entries.
+    /// Non-free entries in one column, O(1) (maintained incrementally —
+    /// equals what a `column` scan would count).
+    pub fn used_in_col(&self, col: u32) -> u32 {
+        self.used_per_col[col as usize]
+    }
+
+    /// Number of free entries, O(1).
     pub fn free_entries(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|s| s.ready == Ready::Free)
-            .count()
+        (self.cols * self.rows - self.used_total) as usize
     }
 }
 
@@ -324,6 +353,45 @@ mod tests {
     fn task_ids_start_above_one() {
         assert_eq!(TaskId::FIRST.0, 2);
         assert_eq!(TaskId::FIRST.next().0, 3);
+    }
+
+    #[test]
+    fn incremental_used_counts_match_scans() {
+        let mut t = TaskTableSide::new(2, 3);
+        let scan_used = |t: &TaskTableSide, col: u32| {
+            t.column(col)
+                .filter(|(_, s)| s.ready != Ready::Free)
+                .count() as u32
+        };
+        t.cpu_claim(e(0, 0), Ready::Copied);
+        t.cpu_claim(e(1, 1), Ready::Ref(TaskId(2)));
+        // Raw `set` transitions in both directions, including writes that
+        // do not change free-ness.
+        t.set(
+            e(1, 2),
+            EntryState {
+                ready: Ready::Copied,
+                sched: false,
+            },
+        );
+        t.set(
+            e(1, 2),
+            EntryState {
+                ready: Ready::Scheduling,
+                sched: true,
+            },
+        );
+        t.set(e(1, 1), EntryState::default());
+        t.chain_mark_schedulable(e(0, 0));
+        t.clear_sched(e(0, 0));
+        t.complete(e(0, 0));
+        for col in 0..2 {
+            assert_eq!(t.used_in_col(col), scan_used(&t, col), "col {col}");
+        }
+        assert_eq!(
+            t.free_entries(),
+            6 - (scan_used(&t, 0) + scan_used(&t, 1)) as usize
+        );
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct Slot {
 #[derive(Debug, Clone)]
 pub struct WarpTable {
     slots: [Option<Slot>; EXECUTORS_PER_MTB],
+    /// Idle-slot count, maintained at dispatch/complete so occupancy
+    /// reads need no scan.
+    free: u32,
 }
 
 impl Default for WarpTable {
@@ -48,12 +51,13 @@ impl WarpTable {
     pub fn new() -> Self {
         WarpTable {
             slots: [None; EXECUTORS_PER_MTB],
+            free: EXECUTORS_PER_MTB as u32,
         }
     }
 
-    /// Number of executor warps with a cleared `exec` flag.
+    /// Number of executor warps with a cleared `exec` flag. O(1).
     pub fn free_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_none()).count()
+        self.free as usize
     }
 
     /// Finds the lowest free slot, like the parallel scan in `pSched`
@@ -71,6 +75,7 @@ impl WarpTable {
     pub fn dispatch(&mut self, slot: usize, s: Slot) {
         assert!(self.slots[slot].is_none(), "slot {slot} already executing");
         self.slots[slot] = Some(s);
+        self.free -= 1;
     }
 
     /// The executor warp finished: clears `exec`, returning the slot's
@@ -79,9 +84,11 @@ impl WarpTable {
     /// # Panics
     /// Panics if the slot was not busy.
     pub fn complete(&mut self, slot: usize) -> Slot {
-        self.slots[slot]
+        let s = self.slots[slot]
             .take()
-            .unwrap_or_else(|| panic!("completion on idle slot {slot}"))
+            .unwrap_or_else(|| panic!("completion on idle slot {slot}"));
+        self.free += 1;
+        s
     }
 
     /// Contents of a busy slot.

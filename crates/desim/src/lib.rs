@@ -22,10 +22,22 @@
 //! * No wall-clock time, OS entropy, or thread scheduling influences event
 //!   order; two runs of the same program produce identical traces.
 //!
-//! Events can be cancelled via the [`EventKey`] returned at scheduling time;
-//! cancellation is O(1) (lazy deletion at pop time). This is used heavily by
-//! the GPU warp engine, which must invalidate predicted completion events
-//! whenever the resident-warp set of an SMM changes.
+//! # Queue implementation
+//!
+//! The queue is an **indexed 4-ary heap**: a compact `Vec<u32>` of slot ids
+//! ordered by `(time, seq)`, over a slab of slots that each remember their
+//! current heap position. The [`EventKey`] returned at scheduling time names
+//! a slot plus a generation, so [`Engine::cancel`] is a true O(log n)
+//! *removal* — no tombstones, no dead weight riding in the heap until its
+//! timestamp comes up — and [`Engine::reschedule`] re-aims a pending event
+//! in place. This matters because the GPU warp engine re-predicts an SMM's
+//! next warp completion on every resident-warp-set change: under the earlier
+//! lazy-deletion design each re-prediction left a cancelled entry behind,
+//! and heaps grew with churn instead of with live events. A 4-ary layout
+//! (rather than binary) halves the tree depth, trading slightly wider
+//! sift-down comparisons for fewer cache-missing levels — the right trade
+//! for the small-but-hot queues this workspace runs. [`EngineStats`] counts
+//! comparisons and live high-water so the effect is observable.
 
 mod horizon;
 mod sync;
@@ -35,42 +47,60 @@ pub use horizon::{Horizon, Windows};
 pub use sync::ClockMap;
 pub use time::{Dur, SimTime};
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
-
-/// Opaque handle to a scheduled event, usable to cancel it.
+/// Opaque handle to a scheduled event, usable to cancel or reschedule it.
 ///
 /// Keys are unique for the lifetime of an [`Engine`]; a key from one engine
 /// must not be used with another (cancellation would silently target the
-/// wrong event if sequence numbers collide).
+/// wrong event if slot generations collide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventKey(u64);
 
-#[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+impl EventKey {
+    /// The key's raw bits, for storage in untyped slots (benches,
+    /// FFI-ish tables). Round-trips through [`EventKey::from_raw`].
+    pub fn into_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from [`EventKey::into_raw`] bits. Only bits that
+    /// came from the same engine's `into_raw` name a real event.
+    pub fn from_raw(raw: u64) -> Self {
+        EventKey(raw)
+    }
+
+    fn new(slot: u32, gen: u32) -> Self {
+        EventKey((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// One slab entry. Lives in the heap while pending; freed slots chain into
+/// a free list through `pos` and bump `gen` so stale keys can never alias
+/// a recycled slot.
+#[derive(Debug)]
+struct Slot<E> {
+    /// Incremented every time the slot is freed; the high half of the key.
+    gen: u32,
+    /// Heap position while pending; next-free link (or `NIL`) while free.
+    pos: u32,
+    at: SimTime,
+    /// Monotone tie-break: same-instant events deliver in schedule order.
+    seq: u64,
+    /// `Some` while pending; taken at delivery, dropped at cancellation.
+    event: Option<E>,
 }
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Primary: time. Secondary: insertion order (determinism).
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
-}
+
+const NIL: u32 = u32::MAX;
+
+/// Heap arity. See the crate docs for why 4.
+const ARITY: usize = 4;
 
 /// Counters describing a finished (or in-progress) simulation run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -79,10 +109,28 @@ pub struct EngineStats {
     pub delivered: u64,
     /// Events scheduled over the engine's lifetime.
     pub scheduled: u64,
-    /// Events cancelled before delivery.
+    /// Events cancelled (removed) before delivery.
     pub cancelled: u64,
-    /// High-water mark of the pending-event queue.
+    /// Pending events re-aimed in place via [`Engine::reschedule`].
+    pub rescheduled: u64,
+    /// High-water mark of the pending-event queue (live events only —
+    /// the queue holds no cancelled entries).
     pub max_queue_len: usize,
+    /// `(time, seq)` key comparisons spent maintaining the heap. Divide
+    /// by `delivered` for the comparisons-per-pop figure of merit.
+    pub comparisons: u64,
+}
+
+impl EngineStats {
+    /// Heap comparisons amortized over delivered events — the
+    /// queue-efficiency figure the `hotpath` bench tracks.
+    pub fn comparisons_per_pop(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.comparisons as f64 / self.delivered as f64
+        }
+    }
 }
 
 /// A deterministic discrete-event simulator clock and event queue.
@@ -107,12 +155,13 @@ pub struct EngineStats {
 /// ```
 pub struct Engine<E> {
     now: SimTime,
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Slot ids ordered as a 4-ary min-heap on `(at, seq)`.
+    heap: Vec<u32>,
+    /// Slab backing the heap; holds every slot ever allocated.
+    slots: Vec<Slot<E>>,
+    /// Head of the freed-slot list threaded through `Slot::pos`.
+    free_head: u32,
     next_seq: u64,
-    cancelled: HashSet<u64>,
-    /// Sequence numbers scheduled but not yet delivered or cancelled —
-    /// makes [`Engine::cancel`]'s return value exact.
-    pending: HashSet<u64>,
     stats: EngineStats,
     /// Observability tap: called once per delivered event with its
     /// timestamp. `None` (the default) costs one discriminant test.
@@ -141,10 +190,10 @@ impl<E> Engine<E> {
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free_head: NIL,
             next_seq: 0,
-            cancelled: HashSet::new(),
-            pending: HashSet::new(),
             stats: EngineStats::default(),
             pop_hook: None,
         }
@@ -200,11 +249,15 @@ impl<E> Engine<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
-        self.pending.insert(seq);
+        let slot = self.alloc(at, seq, event);
+        let key = EventKey::new(slot, self.slots[slot as usize].gen);
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
         self.stats.scheduled += 1;
         self.stats.max_queue_len = self.stats.max_queue_len.max(self.heap.len());
-        EventKey(seq)
+        key
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -218,58 +271,85 @@ impl<E> Engine<E> {
         self.schedule(self.now, event)
     }
 
-    /// Cancels a pending event. Returns `true` only if the event had been
-    /// scheduled and not yet delivered or cancelled. O(1); the heap slot
-    /// is dropped lazily at pop.
+    /// Cancels a pending event, removing it from the queue outright.
+    /// Returns `true` only if the event had been scheduled and not yet
+    /// delivered or cancelled. O(log n).
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if !self.pending.remove(&key.0) {
+        let Some(slot) = self.live_slot(key) else {
             return false; // unknown, already delivered, or already cancelled
-        }
-        self.cancelled.insert(key.0);
+        };
+        let pos = self.slots[slot as usize].pos as usize;
+        self.remove_at(pos);
+        self.free(slot);
         self.stats.cancelled += 1;
         true
     }
 
-    /// Removes and returns the next event, advancing the clock to its
-    /// timestamp. Returns `None` when no (non-cancelled) events remain.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(s)) = self.heap.pop() {
-            if self.cancelled.remove(&s.seq) {
-                continue; // lazily dropped
-            }
-            debug_assert!(s.at >= self.now, "event queue went backwards");
-            self.pending.remove(&s.seq);
-            self.now = s.at;
-            self.stats.delivered += 1;
-            if let Some(hook) = &mut self.pop_hook {
-                hook(s.at);
-            }
-            return Some((s.at, s.event));
+    /// Re-aims a pending event at a new time, in place: the event keeps
+    /// its key and payload but moves to `at`, taking a **fresh** sequence
+    /// number — a rescheduled event orders after everything already
+    /// scheduled for the same instant, exactly as if it had been
+    /// cancelled and rescheduled, without the allocation or the second
+    /// key. Returns `false` (and changes nothing, consuming no sequence
+    /// number) if the key is unknown, delivered, or cancelled.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past, like [`Engine::schedule`].
+    pub fn reschedule(&mut self, key: EventKey, at: SimTime) -> bool {
+        let Some(slot) = self.live_slot(key) else {
+            return false;
+        };
+        assert!(
+            at >= self.now,
+            "rescheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let s = &mut self.slots[slot as usize];
+        s.at = at;
+        s.seq = seq;
+        let pos = s.pos as usize;
+        // A fresh seq can only order the entry later among equals, but
+        // the new time can move it either way: re-sift both directions.
+        let up = self.sift_up(pos);
+        if up == pos {
+            self.sift_down(pos);
         }
-        None
+        self.stats.rescheduled += 1;
+        true
     }
 
-    /// Timestamp of the next pending event without delivering it, skipping
-    /// cancelled entries.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(s)) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let seq = s.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(s.at);
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when no events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let &slot = self.heap.first()?;
+        self.remove_at(0);
+        let s = &mut self.slots[slot as usize];
+        let at = s.at;
+        let event = s.event.take().expect("pending slot holds an event");
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.free(slot);
+        self.now = at;
+        self.stats.delivered += 1;
+        if let Some(hook) = &mut self.pop_hook {
+            hook(at);
         }
-        None
+        Some((at, event))
+    }
+
+    /// Timestamp of the next pending event without delivering it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&s| self.slots[s as usize].at)
     }
 
     /// True when no deliverable events remain.
-    pub fn is_idle(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
     }
 
-    /// Number of pending (possibly cancelled-but-not-yet-dropped) events.
+    /// Number of pending events. Cancelled events are removed outright,
+    /// so this is exact.
     pub fn queue_len(&self) -> usize {
         self.heap.len()
     }
@@ -294,6 +374,117 @@ impl<E> Engine<E> {
         }
         self.now = t;
     }
+
+    /// Resolves a key to its slot id iff the slot is still pending and
+    /// the generations match (i.e. the key is not stale).
+    fn live_slot(&self, key: EventKey) -> Option<u32> {
+        let slot = key.slot();
+        let s = self.slots.get(slot as usize)?;
+        (s.gen == key.gen() && s.event.is_some()).then_some(slot)
+    }
+
+    /// Takes a slot from the free list or grows the slab.
+    fn alloc(&mut self, at: SimTime, seq: u64, event: E) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            self.free_head = s.pos;
+            s.at = at;
+            s.seq = seq;
+            s.event = Some(event);
+            slot
+        } else {
+            self.slots.push(Slot {
+                gen: 0,
+                pos: NIL,
+                at,
+                seq,
+                event: Some(event),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Returns a slot to the free list, invalidating outstanding keys.
+    fn free(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.event = None;
+        s.gen = s.gen.wrapping_add(1);
+        s.pos = self.free_head;
+        self.free_head = slot;
+    }
+
+    /// Whether slot `a` orders strictly before slot `b`. Every heap
+    /// comparison funnels through here for the stats counter.
+    #[inline]
+    fn before(&mut self, a: u32, b: u32) -> bool {
+        self.stats.comparisons += 1;
+        let sa = &self.slots[a as usize];
+        let sb = &self.slots[b as usize];
+        (sa.at, sa.seq) < (sb.at, sb.seq)
+    }
+
+    /// Removes the heap entry at `pos`, filling the hole with the last
+    /// entry and re-sifting it. Does not touch the removed slot itself.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        if pos == last {
+            self.heap.pop();
+            return;
+        }
+        let moved = self.heap[last];
+        self.heap[pos] = moved;
+        self.slots[moved as usize].pos = pos as u32;
+        self.heap.pop();
+        let up = self.sift_up(pos);
+        if up == pos {
+            self.sift_down(pos);
+        }
+    }
+
+    /// Restores the heap property upward from `pos`; returns the entry's
+    /// final position.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
+            if !self.before(self.heap[pos], self.heap[parent]) {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+        pos
+    }
+
+    /// Restores the heap property downward from `pos`.
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let first = ARITY * pos + 1;
+            if first >= self.heap.len() {
+                return;
+            }
+            let end = (first + ARITY).min(self.heap.len());
+            let mut best = first;
+            for child in first + 1..end {
+                if self.before(self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if !self.before(self.heap[best], self.heap[pos]) {
+                return;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    /// Swaps two heap entries, keeping their slots' back-pointers exact.
+    #[inline]
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
+    }
 }
 
 // An engine over `Send` events is itself `Send` (the pop hook is already
@@ -312,7 +503,7 @@ const _: () = {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    #[derive(Debug, PartialEq, Clone, Copy)]
     enum Ev {
         A,
         B,
@@ -371,6 +562,32 @@ mod tests {
     }
 
     #[test]
+    fn cancel_removes_from_queue_immediately() {
+        let mut e = Engine::new();
+        let keys: Vec<_> = (0..100u64)
+            .map(|i| e.schedule(SimTime::from_ns(i), Ev::A))
+            .collect();
+        for k in &keys[1..] {
+            e.cancel(*k);
+        }
+        assert_eq!(e.queue_len(), 1, "cancelled events leave no dead weight");
+        assert_eq!(e.pop(), Some((SimTime::ZERO, Ev::A)));
+    }
+
+    #[test]
+    fn stale_key_cannot_alias_a_recycled_slot() {
+        let mut e = Engine::new();
+        let k1 = e.schedule(SimTime::from_ns(1), Ev::A);
+        e.cancel(k1);
+        // The freed slot is recycled for the next schedule; the stale
+        // key must not cancel or reschedule the new occupant.
+        let _k2 = e.schedule(SimTime::from_ns(2), Ev::B);
+        assert!(!e.cancel(k1));
+        assert!(!e.reschedule(k1, SimTime::from_ns(9)));
+        assert_eq!(e.pop(), Some((SimTime::from_ns(2), Ev::B)));
+    }
+
+    #[test]
     fn peek_skips_cancelled() {
         let mut e = Engine::new();
         let k = e.schedule(SimTime::from_ns(1), Ev::A);
@@ -395,6 +612,41 @@ mod tests {
         e.schedule_now(Ev::B);
         assert_eq!(e.pop().unwrap().1, Ev::A);
         assert_eq!(e.pop().unwrap().1, Ev::B);
+    }
+
+    #[test]
+    fn reschedule_moves_delivery() {
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(10), Ev::A);
+        e.schedule(SimTime::from_ns(20), Ev::B);
+        assert!(e.reschedule(k, SimTime::from_ns(30)));
+        assert_eq!(e.pop(), Some((SimTime::from_ns(20), Ev::B)));
+        assert_eq!(e.pop(), Some((SimTime::from_ns(30), Ev::A)));
+        assert_eq!(e.stats().rescheduled, 1);
+    }
+
+    #[test]
+    fn reschedule_orders_after_same_instant_events() {
+        // A rescheduled event takes a fresh seq: re-aiming A onto B's
+        // instant delivers B first, exactly as cancel + schedule would.
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(5), Ev::A);
+        e.schedule(SimTime::from_ns(7), Ev::B);
+        assert!(e.reschedule(k, SimTime::from_ns(7)));
+        assert_eq!(e.pop().unwrap().1, Ev::B);
+        assert_eq!(e.pop().unwrap().1, Ev::A);
+    }
+
+    #[test]
+    fn reschedule_dead_key_is_false() {
+        let mut e = Engine::new();
+        let k = e.schedule(SimTime::from_ns(1), Ev::A);
+        e.pop();
+        assert!(!e.reschedule(k, SimTime::from_ns(5)), "delivered");
+        let k2 = e.schedule(SimTime::from_ns(2), Ev::B);
+        e.cancel(k2);
+        assert!(!e.reschedule(k2, SimTime::from_ns(5)), "cancelled");
+        assert_eq!(e.stats().rescheduled, 0);
     }
 
     #[test]
@@ -456,5 +708,47 @@ mod tests {
         assert_eq!(s.delivered, 10);
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.max_queue_len, 11);
+        assert!(s.comparisons > 0);
+        assert!(s.comparisons_per_pop() > 0.0);
+    }
+
+    /// Exhaustive-ish churn over a few hundred ops: the slab free list,
+    /// generation bumps, and back-pointers must stay consistent under
+    /// interleaved schedule/cancel/reschedule/pop.
+    #[test]
+    fn slab_survives_interleaved_churn() {
+        let mut e = Engine::new();
+        let mut keys = Vec::new();
+        let mut x = 7u64;
+        for step in 0..600u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = e.now() + Dur::from_ps(1 + (x >> 33) % 1000);
+            match step % 5 {
+                0 | 1 => keys.push(e.schedule(at, Ev::A)),
+                2 => {
+                    if let Some(k) = keys.pop() {
+                        e.cancel(k);
+                    }
+                }
+                3 => {
+                    if let Some(k) = keys.last() {
+                        e.reschedule(*k, at);
+                    }
+                }
+                _ => {
+                    e.pop();
+                }
+            }
+            // The live count is exactly the heap length, and every live
+            // slot's back-pointer must point at its heap entry.
+            for (i, &slot) in e.heap.iter().enumerate() {
+                assert_eq!(e.slots[slot as usize].pos as usize, i);
+                assert!(e.slots[slot as usize].event.is_some());
+            }
+        }
+        while e.pop().is_some() {}
+        assert!(e.is_idle());
     }
 }

@@ -56,7 +56,7 @@ pub enum Notify {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    SmWake { sm: u32, gen: u64 },
+    SmWake { sm: u32 },
     LaunchIssued { kid: u32 },
     Drain,
     Host(u64),
@@ -191,6 +191,11 @@ pub struct GpuDevice {
     kernels_launched: u64,
     tbs_placed: u64,
     drain_pending: bool,
+    /// The single armed next-completion prediction per SMM. Re-aimed in
+    /// place on running-set changes ([`Engine::reschedule`]), cleared at
+    /// delivery, cancelled outright when the SMM empties — the event
+    /// queue never carries superseded predictions.
+    sm_wake: Vec<Option<EventKey>>,
     obs: Obs,
 }
 
@@ -208,6 +213,7 @@ impl GpuDevice {
             })
             .collect();
         let exec = ExecState::new(spec);
+        let sm_wake = vec![None; spec.num_sms as usize];
         GpuDevice {
             cfg,
             engine: Engine::new(),
@@ -224,6 +230,7 @@ impl GpuDevice {
             kernels_launched: 0,
             tbs_placed: 0,
             drain_pending: false,
+            sm_wake,
             obs: Obs::off(),
         }
     }
@@ -414,10 +421,10 @@ impl GpuDevice {
                     self.waiting.push_back(kid);
                     self.settle(t, &mut out);
                 }
-                Ev::SmWake { sm, gen } => {
-                    if gen != self.exec.gen(sm) {
-                        continue; // superseded prediction
-                    }
+                Ev::SmWake { sm } => {
+                    // This SMM's one armed prediction just fired; a new
+                    // one is armed below iff work remains.
+                    self.sm_wake[sm as usize] = None;
                     self.exec.advance_sm(sm, t);
                     self.exec.process_completions(sm, t);
                     self.settle(t, &mut out);
@@ -559,10 +566,26 @@ impl GpuDevice {
         }
     }
 
+    /// Re-aims SMM `sm`'s single armed completion prediction at the
+    /// current earliest completion. A re-aim takes a fresh engine
+    /// sequence number (see [`Engine::reschedule`]), so same-instant
+    /// delivery order is exactly what cancel-plus-schedule would give.
     fn reschedule_sm(&mut self, sm: u32, now: SimTime) {
-        let gen = self.exec.bump_gen(sm);
-        if let Some(t) = self.exec.next_completion(sm, now) {
-            self.engine.schedule(t, Ev::SmWake { sm, gen });
+        match self.exec.next_completion(sm, now) {
+            Some(t) => {
+                if let Some(key) = self.sm_wake[sm as usize] {
+                    if self.engine.reschedule(key, t) {
+                        return;
+                    }
+                }
+                let key = self.engine.schedule(t, Ev::SmWake { sm });
+                self.sm_wake[sm as usize] = Some(key);
+            }
+            None => {
+                if let Some(key) = self.sm_wake[sm as usize].take() {
+                    self.engine.cancel(key);
+                }
+            }
         }
     }
 

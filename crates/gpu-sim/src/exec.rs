@@ -61,6 +61,10 @@ struct WarpCtx {
     /// Thread-instructions left in the current compute segment.
     remaining: f64,
     cpi: f64,
+    /// Latency-bound issue rate for the current assignment,
+    /// thread-instructions per picosecond (`32·f / CPI`, precomputed at
+    /// assign time so the advance loop does no divisions).
+    r_single: f64,
     group: Option<GroupId>,
     /// Caller correlation tag for the current assignment.
     tag: u64,
@@ -82,8 +86,11 @@ struct GroupCtx {
 struct SmExec {
     running: Vec<WarpHandle>,
     last_advance: SimTime,
-    /// Generation counter: a wake event older than this is stale.
-    pub gen: u64,
+    /// Fair-share issue cap per running warp, thread-instructions per
+    /// picosecond — `issue_width·32·f / |running|`, refreshed whenever
+    /// the running set changes so the advance and prediction loops
+    /// never recompute the denominator. Infinite while nothing runs.
+    cap: f64,
     /// Integral of |running| over time, warp·ps.
     running_integral: f64,
     /// Time with ≥1 running warp, ps.
@@ -105,8 +112,13 @@ pub struct ExecState {
     warps: Vec<WarpCtx>,
     groups: Vec<GroupCtx>,
     sms: Vec<SmExec>,
-    clock_ghz: f64,
-    issue_width: u32,
+    /// `issue_width·32·f / 1000`: the SMM issue bandwidth in
+    /// thread-instructions per picosecond, the numerator of every
+    /// fair-share cap. Evaluated in the same operation order the inline
+    /// expression used, so cached rates stay bit-identical.
+    cap_base: f64,
+    /// `32·f`: numerator of the latency-bound per-warp rate.
+    rs_base: f64,
     /// Warps finished since the last [`ExecState::drain_finished`] call,
     /// as `(warp, tag)` in completion order.
     finished: Vec<(WarpHandle, u64)>,
@@ -118,8 +130,8 @@ impl ExecState {
             warps: Vec::new(),
             groups: Vec::new(),
             sms: (0..spec.num_sms).map(|_| SmExec::default()).collect(),
-            clock_ghz: spec.clock_ghz,
-            issue_width: spec.issue_width(),
+            cap_base: spec.issue_width() as f64 * WARP_SIZE as f64 * spec.clock_ghz / 1000.0,
+            rs_base: WARP_SIZE as f64 * spec.clock_ghz,
             finished: Vec::new(),
         }
     }
@@ -135,6 +147,7 @@ impl ExecState {
             cur: 0,
             remaining: 0.0,
             cpi: 1.0,
+            r_single: 0.0,
             group: None,
             tag: 0,
             alive: true,
@@ -218,21 +231,27 @@ impl ExecState {
                 "work with barriers assigned to warp {w:?} outside any group"
             );
         }
+        let rs_base = self.rs_base;
         let ctx = &mut self.warps[w.0 as usize];
         ctx.segments = work.segments;
         ctx.cpi = work.cpi;
+        ctx.r_single = rs_base / work.cpi / 1000.0;
         ctx.cur = 0;
         ctx.remaining = 0.0;
         ctx.tag = tag;
         ctx.state = WarpState::Running; // provisional; step() settles it
         self.sms[sm as usize].running.push(w);
+        self.refresh_cap(sm);
         // Enter the first segment (may immediately block or even finish).
         self.settle(now, w);
     }
 
     /// Advances SMM `sm` to `now`, integrating work and utilization.
     pub fn advance_sm(&mut self, sm: u32, now: SimTime) {
-        let sme = &mut self.sms[sm as usize];
+        // Split-borrow: the SMM entry and the warp arena are disjoint
+        // fields, so the running set is iterated in place (no clone).
+        let ExecState { warps, sms, .. } = self;
+        let sme = &mut sms[sm as usize];
         let dt = now.saturating_since(sme.last_advance).as_ps();
         if dt == 0 {
             sme.last_advance = now;
@@ -242,17 +261,14 @@ impl ExecState {
         sme.running_integral += nrun as f64 * dt as f64;
         if nrun > 0 {
             sme.busy_ps += dt;
-            let cap =
-                self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz / 1000.0 / nrun as f64;
-            let run = sme.running.clone();
-            for w in run {
-                let c = &mut self.warps[w.0 as usize];
-                let r_single = WARP_SIZE as f64 * self.clock_ghz / c.cpi / 1000.0;
-                let rate = r_single.min(cap);
+            let cap = sme.cap;
+            for &w in &sme.running {
+                let c = &mut warps[w.0 as usize];
+                let rate = c.r_single.min(cap);
                 c.remaining -= rate * dt as f64;
             }
         }
-        self.sms[sm as usize].last_advance = now;
+        sme.last_advance = now;
     }
 
     /// After [`ExecState::advance_sm`], finishes every warp whose current
@@ -286,17 +302,14 @@ impl ExecState {
     pub fn next_completion(&self, sm: u32, now: SimTime) -> Option<SimTime> {
         let sme = &self.sms[sm as usize];
         debug_assert_eq!(sme.last_advance, now);
-        let nrun = sme.running.len();
-        if nrun == 0 {
+        if sme.running.is_empty() {
             return None;
         }
-        let cap =
-            self.issue_width as f64 * WARP_SIZE as f64 * self.clock_ghz / 1000.0 / nrun as f64;
+        let cap = sme.cap;
         let mut best = f64::INFINITY;
         for w in &sme.running {
             let c = &self.warps[w.0 as usize];
-            let r_single = WARP_SIZE as f64 * self.clock_ghz / c.cpi / 1000.0;
-            let rate = r_single.min(cap);
+            let rate = c.r_single.min(cap);
             let dt = (c.remaining.max(0.0)) / rate;
             best = best.min(dt);
         }
@@ -306,19 +319,6 @@ impl ExecState {
     /// Number of running warps on `sm`.
     pub fn sm_running(&self, sm: u32) -> u32 {
         self.sms[sm as usize].running.len() as u32
-    }
-
-    /// Bumps and returns the wake-event generation for `sm`, invalidating
-    /// any previously scheduled wake.
-    pub fn bump_gen(&mut self, sm: u32) -> u64 {
-        let sme = &mut self.sms[sm as usize];
-        sme.gen += 1;
-        sme.gen
-    }
-
-    /// Current wake-event generation for `sm`.
-    pub fn gen(&self, sm: u32) -> u64 {
-        self.sms[sm as usize].gen
     }
 
     /// Takes the queue of `(warp, tag)` assignment completions.
@@ -349,6 +349,18 @@ impl ExecState {
     // internals
     // ------------------------------------------------------------------
 
+    /// Re-derives the cached fair-share cap after a running-set change.
+    #[inline]
+    fn refresh_cap(&mut self, sm: u32) {
+        let sme = &mut self.sms[sm as usize];
+        let nrun = sme.running.len();
+        sme.cap = if nrun == 0 {
+            f64::INFINITY
+        } else {
+            self.cap_base / nrun as f64
+        };
+    }
+
     fn leave_running(&mut self, w: WarpHandle) {
         let sm = self.warps[w.0 as usize].sm;
         let running = &mut self.sms[sm as usize].running;
@@ -357,6 +369,7 @@ impl ExecState {
             .position(|x| *x == w)
             .expect("warp not in running set");
         running.swap_remove(pos);
+        self.refresh_cap(sm);
     }
 
     /// Places warp `w` (whose `cur` points at the segment to enter) into
@@ -373,6 +386,7 @@ impl ExecState {
                         ctx.state = WarpState::Running;
                         let sm = ctx.sm;
                         self.sms[sm as usize].running.push(w);
+                        self.refresh_cap(sm);
                     }
                     return;
                 }
@@ -421,12 +435,15 @@ impl ExecState {
             return;
         }
         debug_assert_eq!(ctx.arrived, expected, "more arrivals than members");
-        let members = ctx.members.clone();
         self.groups[g.0 as usize].arrived = 0;
         // Everyone steps past the barrier. `settle` may re-arrive at a
         // following barrier; that recursion terminates because segments are
-        // finite and strictly consumed.
-        for m in members {
+        // finite and strictly consumed. Members are re-indexed through the
+        // group each iteration (instead of iterating a clone) — the member
+        // list itself is immutable until `release_group`, which the settle
+        // cascade never calls.
+        for i in 0..self.groups[g.0 as usize].members.len() {
+            let m = self.groups[g.0 as usize].members[i];
             let c = &mut self.warps[m.0 as usize];
             if c.state == WarpState::AtBarrier {
                 c.cur += 1;

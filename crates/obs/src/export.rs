@@ -240,8 +240,9 @@ pub struct ObsSummary {
     pub mtb_samples: u64,
     /// Number of per-fleet-device samples taken.
     pub device_samples: u64,
-    /// Final counter totals (all counters, zeros included).
-    pub counters: BTreeMap<String, u64>,
+    /// Final counter totals (all counters, zeros included), keyed by the
+    /// interned [`crate::events::Counter::name`].
+    pub counters: BTreeMap<&'static str, u64>,
 }
 
 /// Reduces a buffer to its [`ObsSummary`].

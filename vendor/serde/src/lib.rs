@@ -165,6 +165,18 @@ impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+// Borrowed-key maps (e.g. interned `&'static str` counter names) encode
+// exactly like owned-key maps: same key order, same bytes.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<&str, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            ser::write_field(out, k, v, i == 0);
+        }
+        out.push('}');
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
