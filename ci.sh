@@ -40,13 +40,20 @@ run cargo build --release --offline -p pagoda-bench
 # Smoke the serving benchmark: must produce deterministic curves.
 run cargo run --release --offline -p pagoda-bench --bin serve_curves -- --quick --json >/dev/null
 
-# Observability overhead gate: a disabled/null recorder may cost at most
-# 5% of simulator events/sec (the bin exits nonzero past the gate). The
-# real <=5% bound is enforced by full-size runs and the committed
-# BENCH_obs.json; --smoke widens it to 15% because ~3 ms smoke reps are
-# noise-dominated on a shared CI box. The smoke result goes to a scratch
-# path so CI never dirties the tree.
-run cargo run --release --offline -p pagoda-bench --bin obs_overhead -- --smoke --out target/BENCH_obs_smoke.json
+# Observability overhead gates: a disabled/null recorder may cost at
+# most 5% of simulator events/sec, and profiling-on (the pagoda-prof
+# tee) at most 10% (the bin exits nonzero past either gate). The real
+# bounds are enforced by full-size runs and the committed BENCH_obs.json
+# / BENCH_prof.json; --smoke widens them to 15%/25% because ~3 ms smoke
+# reps are noise-dominated on a shared CI box. The smoke results go to
+# scratch paths so CI never dirties the tree.
+run cargo run --release --offline -p pagoda-bench --bin obs_overhead -- --smoke --out target/BENCH_obs_smoke.json --out-prof target/BENCH_prof_smoke.json
+
+# Profiler smoke: serve the multi-tenant demo on a two-device fleet with
+# critical-path profiling on. The example itself asserts the telescoping
+# contract (phase sums reconcile with sojourns in every group) and that
+# the Prometheus exposition parses; a violation panics, failing CI.
+run cargo run --release --offline --example multi_tenant -- --devices 2 --prof target/prof_smoke
 
 # Fleet scaling gate: a 4-device cluster must clear 3.2x the 1-device
 # throughput (the bin exits nonzero otherwise). The committed

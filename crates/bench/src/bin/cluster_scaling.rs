@@ -42,6 +42,7 @@ use gpu_sim::WarpWork;
 use pagoda_check::{CheckLimits, CheckRecorder};
 use pagoda_cluster::{ClusterConfig, ClusterHandle, Placement};
 use pagoda_core::{SubmitError, TaskDesc};
+use pagoda_prof::{ProfReport, ProfSummary};
 use pagoda_serve::{percentile, serve_on, Policy, ServeConfig, TenantSpec};
 use serde::Serialize;
 use workloads::Bench;
@@ -83,6 +84,9 @@ struct BenchReport {
     pass: bool,
     scaling: Vec<ScalingPoint>,
     skew: Vec<SkewPoint>,
+    /// Critical-path attribution of the gate-sized batch (per-device
+    /// groups from the fleet's routing stream).
+    attribution: ProfSummary,
 }
 
 /// One fleet size of the serial-vs-parallel wall-clock comparison.
@@ -117,6 +121,9 @@ struct ParallelReport {
     /// the bench regardless of the wall-clock gate).
     byte_equal: bool,
     points: Vec<ParallelPoint>,
+    /// Critical-path attribution of the serial equality run (identical
+    /// under the parallel driver — the streams are byte-equal).
+    attribution: ProfSummary,
 }
 
 /// The uniform narrow task of the scaling batch: 4 warps, ~30 us of
@@ -132,12 +139,22 @@ fn task() -> TaskDesc {
 /// Closed-loop batch on an `n`-device fleet; returns simulated makespan
 /// in microseconds.
 fn scaling_run(n: usize, tasks: usize) -> f64 {
-    drive_batch(n, tasks, false).0
+    drive_batch(n, tasks, false, pagoda_obs::Obs::off()).0
 }
 
-/// Closed-loop batch with an explicit driver mode; returns simulated
-/// makespan (us) and host wall-clock (ms).
-fn drive_batch(n: usize, tasks: usize, parallel: bool) -> (f64, f64) {
+/// Gate-sized batch re-driven with a [`pagoda_prof::ProfRecorder`]
+/// attached: same simulated history as [`scaling_run`] (the curve is
+/// measured in simulated time, so profiling adds no noise to it), plus
+/// the critical-path attribution of where that time went.
+fn attribution_run(n: usize, tasks: usize) -> ProfSummary {
+    let (obs, rec) = pagoda_prof::ProfRecorder::recording();
+    drive_batch(n, tasks, false, obs);
+    rec.report().summary()
+}
+
+/// Closed-loop batch with an explicit driver mode and obs sink; returns
+/// simulated makespan (us) and host wall-clock (ms).
+fn drive_batch(n: usize, tasks: usize, parallel: bool, obs: pagoda_obs::Obs) -> (f64, f64) {
     let mut cfg = ClusterConfig::uniform(n);
     // The uniform batch models fleet-resident data: every device is
     // "home", so no placement pays the staging transfer. (The skew
@@ -146,6 +163,7 @@ fn drive_batch(n: usize, tasks: usize, parallel: bool) -> (f64, f64) {
     cfg.parallel = parallel;
     let started = std::time::Instant::now();
     let mut fleet = ClusterHandle::new(cfg).expect("uniform config is valid");
+    fleet.attach_obs(obs);
     let mut spawned = 0usize;
     let mut pending = task();
     while spawned < tasks {
@@ -222,7 +240,7 @@ fn skew_run(policy: Placement, zipf_s: f64, tasks_per_tenant: usize) -> SkewPoin
 /// The recorder is a [`CheckRecorder`]: the invariant checker rides the
 /// bench for free, so a fleet bug that happens not to perturb the byte
 /// comparison (both drivers wrong the same way) still fails the gate.
-fn equality_run(parallel: bool) -> (String, Vec<Option<f64>>, String) {
+fn equality_run(parallel: bool) -> ((String, Vec<Option<f64>>, String), pagoda_obs::ObsBuffer) {
     let mut cfg = ClusterConfig::uniform(4);
     cfg.placement = Placement::PowerOfTwo;
     cfg.seed = 0xb17e;
@@ -269,7 +287,8 @@ fn equality_run(parallel: bool) -> (String, Vec<Option<f64>>, String) {
         .map(|&k| fleet.completion_time(k).map(|t| t.as_us_f64()))
         .collect();
     let fingerprint = format!("{:?}/{:?}", fleet.engine_stats(), fleet.report());
-    (rec.snapshot().to_json(), times, fingerprint)
+    let buf = rec.snapshot();
+    ((buf.to_json(), times, fingerprint), buf)
 }
 
 fn parallel_main(smoke: bool, gate: f64, out: String) {
@@ -278,8 +297,8 @@ fn parallel_main(smoke: bool, gate: f64, out: String) {
         if smoke { (&[4], 768) } else { (&[4, 8], 2048) };
 
     eprintln!("byte-equality: serial vs parallel driver (4 devices, kill fault, 5 us windows)");
-    let serial_eq = equality_run(false);
-    let parallel_eq = equality_run(true);
+    let (serial_eq, serial_buf) = equality_run(false);
+    let (parallel_eq, _) = equality_run(true);
     let byte_equal = serial_eq == parallel_eq;
     if byte_equal {
         eprintln!("byte-equality: OK (recorder stream, completion times, stats, report)");
@@ -298,8 +317,8 @@ fn parallel_main(smoke: bool, gate: f64, out: String) {
 
     let mut points = Vec::new();
     for &n in device_counts {
-        let (serial_mk, serial_wall) = drive_batch(n, batch, false);
-        let (parallel_mk, parallel_wall) = drive_batch(n, batch, true);
+        let (serial_mk, serial_wall) = drive_batch(n, batch, false, pagoda_obs::Obs::off());
+        let (parallel_mk, parallel_wall) = drive_batch(n, batch, true, pagoda_obs::Obs::off());
         assert!(
             (serial_mk - parallel_mk).abs() < 1e-9,
             "drivers disagree on simulated makespan at {n} devices: \
@@ -338,6 +357,7 @@ fn parallel_main(smoke: bool, gate: f64, out: String) {
         pass,
         byte_equal,
         points,
+        attribution: ProfReport::from_buffer(&serial_buf).summary(),
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write report");
@@ -459,6 +479,7 @@ fn main() {
         pass,
         scaling,
         skew,
+        attribution: attribution_run(GATE_DEVICES, batch),
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, format!("{json}\n")).expect("write report");

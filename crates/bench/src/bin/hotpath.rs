@@ -118,6 +118,9 @@ struct ObsSection {
     null: ModeResult,
     mem: ModeResult,
     captured: Captured,
+    /// Critical-path attribution of the captured run: where its wall
+    /// (simulated) time went, phase by phase.
+    attribution: pagoda_prof::ProfSummary,
 }
 
 /// Reference numbers parsed from `--baseline PATH` (a prior report).
@@ -477,17 +480,19 @@ fn main() {
         events: events[0],
         events_per_sec: evps[0],
     };
-    let captured = {
+    let (captured, attribution) = {
         let (obs_h, rec) = Obs::recording();
         run_once(n, obs_h);
         let buf = rec.snapshot();
-        Captured {
+        let captured = Captured {
             tasks: buf.tasks.len() as u64,
             tenants: buf.tenants.len() as u64,
             smm: buf.smm.len() as u64,
             mtb: buf.mtb.len() as u64,
             counter_total: buf.counters.values().sum(),
-        }
+        };
+        let attribution = pagoda_prof::ProfReport::from_buffer(&buf).summary();
+        (captured, attribution)
     };
     let obs = ObsSection {
         tasks: n as u64,
@@ -497,6 +502,7 @@ fn main() {
         null: mk_result(1),
         mem: mk_result(2),
         captured,
+        attribution,
     };
 
     // --- baseline comparison + gates -------------------------------

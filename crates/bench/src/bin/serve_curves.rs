@@ -166,6 +166,7 @@ fn build_cfg(
                 // the same window, so the aggregate offered rate holds
                 // for the whole run.
                 tasks: Some(((mt.share * total_tasks as f64).round() as usize).max(1)),
+                slo: None,
             }
         })
         .collect();

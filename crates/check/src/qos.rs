@@ -179,6 +179,7 @@ mod tests {
             tenant,
             seq,
             arrival: SimTime::from_us(seq),
+            admitted: SimTime::from_us(seq),
             deadline: deadline_us.map(SimTime::from_us),
             desc: TaskDesc::uniform(32, WarpWork::compute(100, 1.0)),
         }

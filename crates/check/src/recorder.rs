@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 
 use pagoda_obs::{
     Counter, DeviceSample, MtbSample, Obs, ObsBuffer, Recorder, SmmSample, SyncMark, TaskEvent,
-    TenantTag,
+    TaskMark, TaskRoute, TenantTag,
 };
 
 use crate::invariants::{CheckCore, CheckLimits, Violation};
@@ -82,6 +82,15 @@ impl Recorder for CheckRecorder {
 
     fn tenant(&self, tag: TenantTag) {
         self.inner.tenant(tag);
+    }
+
+    fn mark(&self, m: TaskMark) {
+        self.core().on_mark(m);
+        self.inner.mark(m);
+    }
+
+    fn route(&self, r: TaskRoute) {
+        self.inner.route(r);
     }
 
     fn smm(&self, s: SmmSample) {

@@ -476,6 +476,9 @@ impl ClusterHandle {
                 .task(self.fleet_now.as_ps(), key, TaskState::Spawned);
             self.obs.tenant(key, tenant);
         }
+        // Both first spawns and resubmissions: profiling charges the
+        // task to the device that finally ran it (last route wins).
+        self.obs.route(key, device as u32);
         let obs = self.obs.clone();
         self.devices[device].sample(self.fleet_now, &obs, false);
     }
@@ -561,10 +564,27 @@ impl ClusterHandle {
     /// completions in `(at, device, key)` order.
     fn apply_completions(&mut self, merged: Vec<(SimTime, usize, u64)>) {
         for (at, device, key) in merged {
-            self.devices[device].outstanding.remove(&key);
+            let id = self.devices[device].outstanding.remove(&key);
             self.devices[device].completed += 1;
             self.tasks[key as usize].status = Status::Done { at };
             self.unresolved -= 1;
+            // Replay the winning attempt's device timeline under the
+            // fleet key (the runtime tracked it under its own TaskId):
+            // without these cuts, fleet-level profiling would collapse
+            // staging, MTB wait, and SMM wait into one opaque span.
+            if self.obs.enabled() {
+                if let Some(tr) = id.and_then(|id| self.devices[device].rt.trace(id).ok()) {
+                    for (t, st) in [
+                        (tr.entry_visible, TaskState::Enqueued),
+                        (tr.schedulable, TaskState::Placed),
+                        (tr.first_exec, TaskState::Running),
+                    ] {
+                        if let Some(t) = t {
+                            self.obs.task(t.as_ps(), key, st);
+                        }
+                    }
+                }
+            }
             self.obs.task(at.as_ps(), key, TaskState::Freed);
         }
     }
@@ -977,6 +997,10 @@ impl Backend for ClusterHandle {
 
     fn engine_stats(&self) -> Vec<EngineStats> {
         ClusterHandle::engine_stats(self)
+    }
+
+    fn num_devices(&self) -> u32 {
+        self.devices.len() as u32
     }
 }
 

@@ -88,6 +88,12 @@ pub trait Backend {
     fn engine_stats(&self) -> Vec<EngineStats> {
         Vec::new()
     }
+
+    /// Number of simulated devices behind this backend (profiling group
+    /// cardinality). A single runtime is one device; clusters override.
+    fn num_devices(&self) -> u32 {
+        1
+    }
 }
 
 impl Backend for PagodaRuntime {

@@ -131,6 +131,60 @@ pub struct DeviceSample {
     pub alive: bool,
 }
 
+/// Serving-layer cut points on a task's timeline that the lifecycle
+/// states do not carry: when the client's request arrived, when
+/// admission pushed it into the QoS queue, and when the host observed
+/// its completion. Together with [`TaskState`] these are the eight cut
+/// points `pagoda-prof` decomposes a sojourn into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MarkKind {
+    /// The client offered the task (sojourn time starts here).
+    Arrived,
+    /// Admission accepted it into the QoS queue.
+    Admitted,
+    /// The host observed the completed output (sojourn time ends here).
+    Observed,
+}
+
+impl MarkKind {
+    /// All marks, timeline order.
+    pub const ALL: [MarkKind; 3] = [MarkKind::Arrived, MarkKind::Admitted, MarkKind::Observed];
+
+    /// Stable lowercase name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkKind::Arrived => "arrived",
+            MarkKind::Admitted => "admitted",
+            MarkKind::Observed => "observed",
+        }
+    }
+}
+
+/// One serving-layer timeline mark. Marks are emitted retroactively —
+/// the serving loop learns a task's key only at spawn, so `at_ps` may
+/// precede earlier-recorded events; consumers index by `(task, kind)`,
+/// never by stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskMark {
+    /// Simulation instant, picoseconds.
+    pub at_ps: u64,
+    /// Backend-unique task key.
+    pub task: u64,
+    /// Which cut point this is.
+    pub kind: MarkKind,
+}
+
+/// Attributes a task to the fleet device it was placed on (cluster
+/// layer). Re-emitted on resubmission after a device failure; the last
+/// route wins for per-device attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskRoute {
+    /// Backend-unique task key.
+    pub task: u64,
+    /// Device index within the fleet.
+    pub device: u32,
+}
+
 /// Why a fleet-level sync mark was emitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SyncKind {

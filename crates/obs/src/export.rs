@@ -14,13 +14,7 @@ use serde::Serialize;
 
 use crate::events::TaskState;
 use crate::recorder::ObsBuffer;
-
-/// Formats picoseconds as chrome-trace microseconds (fractional).
-fn us(ps: u64) -> String {
-    let mut s = String::new();
-    serde::ser::write_f64(&mut s, ps as f64 / 1e6);
-    s
-}
+use crate::writer::{us, write_csv, TraceEvents};
 
 /// Human-readable phase label for the span *beginning* at `state`.
 fn phase_name(state: TaskState) -> &'static str {
@@ -54,9 +48,7 @@ fn phase_name(state: TaskState) -> &'static str {
 pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
     let tenant_of: BTreeMap<u64, u32> = buf.tenants.iter().map(|t| (t.task, t.tenant)).collect();
 
-    // (ts_ps, rendered JSON object) — stable sort keeps arrival order
-    // among equal timestamps, which keeps the output deterministic.
-    let mut events: Vec<(u64, String)> = Vec::new();
+    let mut events = TraceEvents::new();
 
     // Task phase spans: consecutive pairs of reached states.
     let mut timelines: BTreeMap<u64, [Option<u64>; 5]> = BTreeMap::new();
@@ -74,7 +66,7 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
                 continue;
             };
             if let Some((ps, pt)) = prev {
-                events.push((
+                events.push(
                     pt,
                     format!(
                         r#"{{"name":"{}","ph":"X","ts":{},"dur":{},"pid":1,"tid":{},"args":{{"task":{}}}}}"#,
@@ -84,7 +76,7 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
                         tid,
                         task
                     ),
-                ));
+                );
             }
             prev = Some((state, at));
         }
@@ -92,7 +84,7 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
 
     // Per-SMM resource counter tracks.
     for s in &buf.smm {
-        events.push((
+        events.push(
             s.at_ps,
             format!(
                 r#"{{"name":"smm{}","ph":"C","ts":{},"pid":2,"tid":{},"args":{{"resident_warps":{},"running_warps":{},"free_regs_k":{},"free_smem_kib":{},"free_tb_slots":{}}}}}"#,
@@ -105,12 +97,12 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
                 s.free_smem / 1024,
                 s.free_tb_slots
             ),
-        ));
+        );
     }
 
     // Per-MTB occupancy counter tracks.
     for s in &buf.mtb {
-        events.push((
+        events.push(
             s.at_ps,
             format!(
                 r#"{{"name":"mtb{}","ph":"C","ts":{},"pid":3,"tid":{},"args":{{"free_warp_slots":{},"free_smem_kib":{},"used_entries":{}}}}}"#,
@@ -121,12 +113,12 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
                 s.free_smem / 1024,
                 s.used_entries
             ),
-        ));
+        );
     }
 
     // Per-fleet-device counter tracks.
     for s in &buf.devices {
-        events.push((
+        events.push(
             s.at_ps,
             format!(
                 r#"{{"name":"dev{}","ph":"C","ts":{},"pid":4,"tid":{},"args":{{"known_free":{},"outstanding":{},"alive":{}}}}}"#,
@@ -137,88 +129,83 @@ pub fn write_chrome_trace<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()
                 s.outstanding,
                 u32::from(s.alive)
             ),
-        ));
+        );
     }
 
-    events.sort_by_key(|(ts, _)| *ts);
-
-    writeln!(w, "{{\"traceEvents\":[")?;
-    w.write_all(
-        br#"{"name":"process_name","ph":"M","pid":1,"args":{"name":"tasks"}},
-{"name":"process_name","ph":"M","pid":2,"args":{"name":"SMM resources"}},
-{"name":"process_name","ph":"M","pid":3,"args":{"name":"MTB occupancy"}},
-{"name":"process_name","ph":"M","pid":4,"args":{"name":"fleet devices"}}"#,
-    )?;
-    for (_, line) in &events {
-        writeln!(w, ",")?;
-        write!(w, "{line}")?;
-    }
-    writeln!(w, "\n]}}")?;
-    Ok(())
+    events.write(
+        w,
+        &[
+            (1, "tasks"),
+            (2, "SMM resources"),
+            (3, "MTB occupancy"),
+            (4, "fleet devices"),
+        ],
+    )
 }
 
 /// Writes the per-SMM samples as CSV (`at_ps,sm,resident_warps,free_regs,
 /// free_smem,free_tb_slots`).
 pub fn write_smm_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
-    writeln!(
+    write_csv(
         w,
-        "at_ps,sm,resident_warps,running_warps,free_regs,free_smem,free_tb_slots"
-    )?;
-    for s in &buf.smm {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{}",
-            s.at_ps,
-            s.sm,
-            s.resident_warps,
-            s.running_warps,
-            s.free_regs,
-            s.free_smem,
-            s.free_tb_slots
-        )?;
-    }
-    Ok(())
+        "at_ps,sm,resident_warps,running_warps,free_regs,free_smem,free_tb_slots",
+        &buf.smm,
+        |s| {
+            format!(
+                "{},{},{},{},{},{},{}",
+                s.at_ps,
+                s.sm,
+                s.resident_warps,
+                s.running_warps,
+                s.free_regs,
+                s.free_smem,
+                s.free_tb_slots
+            )
+        },
+    )
 }
 
 /// Writes the per-MTB samples as CSV (`at_ps,mtb,free_warp_slots,
 /// free_smem,used_entries`).
 pub fn write_mtb_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
-    writeln!(w, "at_ps,mtb,free_warp_slots,free_smem,used_entries")?;
-    for s in &buf.mtb {
-        writeln!(
-            w,
-            "{},{},{},{},{}",
-            s.at_ps, s.mtb, s.free_warp_slots, s.free_smem, s.used_entries
-        )?;
-    }
-    Ok(())
+    write_csv(
+        w,
+        "at_ps,mtb,free_warp_slots,free_smem,used_entries",
+        &buf.mtb,
+        |s| {
+            format!(
+                "{},{},{},{},{}",
+                s.at_ps, s.mtb, s.free_warp_slots, s.free_smem, s.used_entries
+            )
+        },
+    )
 }
 
 /// Writes the per-fleet-device samples as CSV (`at_ps,device,known_free,
 /// outstanding,alive`).
 pub fn write_device_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
-    writeln!(w, "at_ps,device,known_free,outstanding,alive")?;
-    for s in &buf.devices {
-        writeln!(
-            w,
-            "{},{},{},{},{}",
-            s.at_ps,
-            s.device,
-            s.known_free,
-            s.outstanding,
-            u32::from(s.alive)
-        )?;
-    }
-    Ok(())
+    write_csv(
+        w,
+        "at_ps,device,known_free,outstanding,alive",
+        &buf.devices,
+        |s| {
+            format!(
+                "{},{},{},{},{}",
+                s.at_ps,
+                s.device,
+                s.known_free,
+                s.outstanding,
+                u32::from(s.alive)
+            )
+        },
+    )
 }
 
 /// Writes the task lifecycle events as CSV (`at_ps,task,state`).
 pub fn write_task_csv<W: Write>(buf: &ObsBuffer, w: &mut W) -> io::Result<()> {
-    writeln!(w, "at_ps,task,state")?;
-    for ev in &buf.tasks {
-        writeln!(w, "{},{},{}", ev.at_ps, ev.task, ev.state.name())?;
-    }
-    Ok(())
+    write_csv(w, "at_ps,task,state", &buf.tasks, |ev| {
+        format!("{},{},{}", ev.at_ps, ev.task, ev.state.name())
+    })
 }
 
 /// Aggregate view of a recorded run, for JSON-lines harness output.

@@ -40,10 +40,11 @@
 pub mod events;
 pub mod export;
 pub mod recorder;
+pub mod writer;
 
 pub use events::{
-    Counter, DeviceSample, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskState,
-    TenantTag,
+    Counter, DeviceSample, MarkKind, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskMark,
+    TaskRoute, TaskState, TenantTag,
 };
 pub use export::{summarize, write_chrome_trace, ObsSummary};
 pub use recorder::{MemRecorder, NullRecorder, Obs, ObsBuffer, ObsFork, Recorder};

@@ -28,8 +28,8 @@ use std::sync::Arc;
 use serde::Serialize;
 
 use crate::events::{
-    Counter, DeviceSample, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskState,
-    TenantTag,
+    Counter, DeviceSample, MarkKind, MtbSample, SmmSample, SyncKind, SyncMark, TaskEvent, TaskMark,
+    TaskRoute, TaskState, TenantTag,
 };
 
 /// A sink for observability events. All methods take `&self` (recorders
@@ -65,6 +65,17 @@ pub trait Recorder {
     /// A fleet driver reached a synchronization point (cluster layer).
     fn sync_mark(&self, m: SyncMark) {
         let _ = m;
+    }
+
+    /// A serving-layer timeline mark (arrival / admission / observed
+    /// completion) was attributed to a task.
+    fn mark(&self, m: TaskMark) {
+        let _ = m;
+    }
+
+    /// A task was routed to a fleet device (cluster layer).
+    fn route(&self, r: TaskRoute) {
+        let _ = r;
     }
 
     /// A counter advanced by `delta`.
@@ -129,6 +140,11 @@ pub struct ObsBuffer {
     pub devices: Vec<DeviceSample>,
     /// Fleet synchronization points (cluster layer), emission order.
     pub syncs: Vec<SyncMark>,
+    /// Serving-layer timeline marks, emission order (which may differ
+    /// from `at_ps` order: marks are emitted retroactively at spawn).
+    pub marks: Vec<TaskMark>,
+    /// Task→device routings (cluster layer), emission order.
+    pub routes: Vec<TaskRoute>,
     /// Final counter totals, keyed by the interned [`Counter::name`]
     /// (`&'static str` — building a snapshot allocates no key strings).
     /// Every counter is present (zeros included) so the layout is
@@ -156,6 +172,19 @@ impl ObsBuffer {
             let slot = &mut tl[ev.state as usize];
             if slot.is_none() {
                 *slot = Some(ev.at_ps);
+            }
+        }
+        tl
+    }
+
+    /// The instants of `task`'s serving-layer marks, [`MarkKind::ALL`]
+    /// order. `None` for marks never emitted (first emission wins).
+    pub fn task_marks(&self, task: u64) -> [Option<u64>; 3] {
+        let mut tl = [None; 3];
+        for m in self.marks.iter().filter(|m| m.task == task) {
+            let slot = &mut tl[m.kind as usize];
+            if slot.is_none() {
+                *slot = Some(m.at_ps);
             }
         }
         tl
@@ -322,6 +351,8 @@ pub struct MemRecorder {
     mtb: Spin<Ring<MtbSample>>,
     devices: Spin<Ring<DeviceSample>>,
     syncs: Spin<Ring<SyncMark>>,
+    marks: Spin<Ring<TaskMark>>,
+    routes: Spin<Ring<TaskRoute>>,
     counts: [AtomicU64; Counter::ALL.len()],
 }
 
@@ -347,6 +378,8 @@ impl MemRecorder {
             mtb: self.mtb.lock().to_vec(),
             devices: self.devices.lock().to_vec(),
             syncs: self.syncs.lock().to_vec(),
+            marks: self.marks.lock().to_vec(),
+            routes: self.routes.lock().to_vec(),
             counters,
         }
     }
@@ -359,16 +392,19 @@ impl MemRecorder {
         self.mtb.lock().clear();
         self.devices.lock().clear();
         self.syncs.lock().clear();
+        self.marks.lock().clear();
+        self.routes.lock().clear();
         for a in &self.counts {
             a.store(0, Ordering::Relaxed);
         }
     }
 
     /// Replays everything buffered here into `sink`, stream by stream in
-    /// capture order (tasks, tenants, SMM, MTB, devices, syncs, then
-    /// counter totals) without copying the buffers out first. This is
-    /// what the default [`Recorder::join`] runs; custom recorders reuse
-    /// it to fold a fork into themselves through their own methods.
+    /// capture order (tasks, tenants, SMM, MTB, devices, syncs, marks,
+    /// routes, then counter totals) without copying the buffers out
+    /// first. This is what the default [`Recorder::join`] runs; custom
+    /// recorders reuse it to fold a fork into themselves through their
+    /// own methods.
     pub fn replay_into<R: Recorder + ?Sized>(&self, sink: &R) {
         for ev in self.tasks.lock().iter() {
             sink.task(*ev);
@@ -387,6 +423,12 @@ impl MemRecorder {
         }
         for m in self.syncs.lock().iter() {
             sink.sync_mark(*m);
+        }
+        for m in self.marks.lock().iter() {
+            sink.mark(*m);
+        }
+        for r in self.routes.lock().iter() {
+            sink.route(*r);
         }
         for c in Counter::ALL {
             let total = self.counts[c as usize].load(Ordering::Relaxed);
@@ -436,6 +478,16 @@ impl Recorder for MemRecorder {
     #[inline]
     fn sync_mark(&self, m: SyncMark) {
         self.syncs.lock().push(m);
+    }
+
+    #[inline]
+    fn mark(&self, m: TaskMark) {
+        self.marks.lock().push(m);
+    }
+
+    #[inline]
+    fn route(&self, r: TaskRoute) {
+        self.routes.lock().push(r);
     }
 
     #[inline]
@@ -599,6 +651,18 @@ impl Obs {
         emit!(self.sync_mark(SyncMark { at_ps, kind }));
     }
 
+    /// Records a serving-layer timeline mark for `task`.
+    #[inline]
+    pub fn mark(&self, at_ps: u64, task: u64, kind: MarkKind) {
+        emit!(self.mark(TaskMark { at_ps, task, kind }));
+    }
+
+    /// Records that `task` was routed to fleet `device`.
+    #[inline]
+    pub fn route(&self, task: u64, device: u32) {
+        emit!(self.route(TaskRoute { task, device }));
+    }
+
     /// Advances counter `c` by `delta`.
     #[inline]
     pub fn count(&self, c: Counter, delta: u64) {
@@ -725,6 +789,32 @@ mod tests {
         assert_eq!(tl[TaskState::Spawned as usize], Some(10));
         assert_eq!(tl[TaskState::Enqueued as usize], None);
         assert_eq!(tl[TaskState::Running as usize], Some(30));
+    }
+
+    #[test]
+    fn marks_and_routes_buffer_and_replay() {
+        let (obs, rec) = Obs::recording();
+        obs.mark(100, 7, MarkKind::Arrived);
+        obs.mark(130, 7, MarkKind::Admitted);
+        obs.mark(900, 7, MarkKind::Observed);
+        obs.mark(950, 7, MarkKind::Observed); // duplicate: first wins
+        obs.route(7, 2);
+        obs.route(7, 3); // resubmission: both retained, last wins downstream
+        let buf = rec.snapshot();
+        assert_eq!(buf.marks.len(), 4);
+        assert_eq!(buf.task_marks(7), [Some(100), Some(130), Some(900)]);
+        assert_eq!(buf.routes.len(), 2);
+        assert_eq!(buf.routes[1].device, 3);
+
+        // Fork/join replays marks and routes in capture order.
+        let (obs2, rec2) = Obs::recording();
+        let f = obs2.fork();
+        f.obs().mark(100, 7, MarkKind::Arrived);
+        f.obs().route(7, 2);
+        obs2.join(f);
+        let buf2 = rec2.snapshot();
+        assert_eq!(buf2.marks.len(), 1);
+        assert_eq!(buf2.routes.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! `prof diff`: compare two runs' decompositions and flag phase-level
+//! regressions beyond a threshold — the attribution story every perf PR
+//! gets for free once both runs carry a [`ProfReport`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::phase::Phase;
+use crate::report::ProfReport;
+
+/// One group×phase mean-duration change between two runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseDelta {
+    /// Group label shared by both runs.
+    pub group: String,
+    /// Phase name.
+    pub phase: &'static str,
+    /// Mean per-task duration in the baseline run, ps.
+    pub base_mean_ps: u64,
+    /// Mean per-task duration in the new run, ps.
+    pub new_mean_ps: u64,
+    /// Signed change in percent, rounded toward zero.
+    pub delta_pct: i64,
+    /// Whether `delta_pct` exceeds the regression threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfDiff {
+    /// Threshold (percent growth of a phase mean) above which a delta
+    /// counts as a regression.
+    pub threshold_pct: u64,
+    /// Every comparable group×phase pair, report order.
+    pub deltas: Vec<PhaseDelta>,
+    /// Number of regressed deltas (denormalized for quick gating).
+    pub regressions: u64,
+}
+
+impl ProfDiff {
+    /// Whether no phase regressed beyond the threshold.
+    pub fn clean(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// The regressed deltas only.
+    pub fn regressed(&self) -> impl Iterator<Item = &PhaseDelta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+}
+
+/// Compares `new` against `base`, group by group (groups present in
+/// only one run are skipped — there is nothing to compare), phase by
+/// phase. A phase regresses when its mean grows more than
+/// `threshold_pct` percent *and* by at least `min_delta_ps` absolute
+/// picoseconds — the absolute floor keeps near-zero phases (mean of a
+/// few ps) from tripping percentage gates on noise.
+pub fn diff_reports(
+    base: &ProfReport,
+    new: &ProfReport,
+    threshold_pct: u64,
+    min_delta_ps: u64,
+) -> ProfDiff {
+    let mut deltas = Vec::new();
+    let mut regressions = 0u64;
+    for g_new in &new.groups {
+        let Some(g_base) = base.groups.iter().find(|g| g.label == g_new.label) else {
+            continue;
+        };
+        for p in Phase::ALL {
+            let base_mean = g_base.phases[p as usize].mean();
+            let new_mean = g_new.phases[p as usize].mean();
+            let delta_pct = if base_mean == 0 {
+                if new_mean == 0 {
+                    0
+                } else {
+                    i64::MAX
+                }
+            } else {
+                (new_mean as i64 - base_mean as i64) * 100 / base_mean as i64
+            };
+            let regressed = new_mean > base_mean.saturating_add(min_delta_ps)
+                && (base_mean == 0 || delta_pct > threshold_pct as i64);
+            regressions += u64::from(regressed);
+            deltas.push(PhaseDelta {
+                group: g_new.label.clone(),
+                phase: p.name(),
+                base_mean_ps: base_mean,
+                new_mean_ps: new_mean,
+                delta_pct,
+                regressed,
+            });
+        }
+    }
+    ProfDiff {
+        threshold_pct,
+        deltas,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TaskProf;
+    use pagoda_obs::TaskState;
+
+    fn report_with_exec(exec_ps: u64, n: u64) -> ProfReport {
+        let tasks: Vec<TaskProf> = (0..n)
+            .map(|i| {
+                let mut t = TaskProf::default();
+                let t0 = i * 10_000;
+                t.cuts.note_state(TaskState::Spawned, t0);
+                t.cuts.note_state(TaskState::Running, t0 + 100);
+                t.cuts.note_state(TaskState::Freed, t0 + 100 + exec_ps);
+                t
+            })
+            .collect();
+        ProfReport::aggregate(&tasks)
+    }
+
+    #[test]
+    fn flags_regressed_phase_only() {
+        let base = report_with_exec(1_000, 8);
+        let slow = report_with_exec(1_500, 8); // execution +50%
+        let d = diff_reports(&base, &slow, 20, 100);
+        assert!(!d.clean());
+        let reg: Vec<_> = d.regressed().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].phase, "execution");
+        assert_eq!(reg[0].delta_pct, 50);
+    }
+
+    #[test]
+    fn improvement_and_noise_stay_clean() {
+        let base = report_with_exec(1_000, 8);
+        // Faster run: never a regression.
+        assert!(diff_reports(&base, &report_with_exec(800, 8), 20, 100).clean());
+        // +30% but only +3 ps absolute: under the floor, stays clean.
+        let tiny_base = report_with_exec(10, 8);
+        let tiny_new = report_with_exec(13, 8);
+        assert!(diff_reports(&tiny_base, &tiny_new, 20, 100).clean());
+    }
+
+    #[test]
+    fn diff_serializes() {
+        let base = report_with_exec(1_000, 4);
+        let new = report_with_exec(2_000, 4);
+        let d = diff_reports(&base, &new, 10, 0);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains("\"regressed\":true"));
+    }
+}

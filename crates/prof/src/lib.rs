@@ -1,0 +1,67 @@
+//! **pagoda-prof** — critical-path profiling, latency decomposition, and
+//! SLO tracking over the `pagoda-obs` event stream.
+//!
+//! The obs layer records *what happened* (lifecycle spans, serving
+//! marks, routes, resource samples); this crate answers *where the time
+//! went*. Each completed task's sojourn is cut into seven named phases
+//! ([`Phase`]) — admission, host queue, PCIe staging, MTB wait, SMM
+//! wait, execution, copyback — that sum **exactly** to the sojourn by
+//! construction (see [`phase`]). Per-task decompositions aggregate into
+//! mergeable log-bucketed histograms ([`LogHist`]) grouped per tenant
+//! and per fleet device, so parallel per-device profiles fold into
+//! exactly the serial aggregate.
+//!
+//! Three ways in:
+//!
+//! * **online tee** — [`ProfRecorder::recording`] yields an [`Obs`]
+//!   handle that profiles while forwarding the unmodified stream to an
+//!   inner buffer (same pattern as `pagoda-check`);
+//! * **post-hoc** — [`ProfReport::from_buffer`] rebuilds the profile
+//!   from any captured [`ObsBuffer`] (how the benches attribute runs);
+//! * **SLO tracking** — [`SloTracker`] accounts completed sojourns
+//!   against per-tenant [`SloSpec`] targets with integer burn-rate math.
+//!
+//! Exports: Prometheus text exposition ([`write_prometheus`]),
+//! folded-stack flamegraph input ([`write_folded`]), and phase-level
+//! regression diffs ([`diff_reports`]) — all integer-valued and
+//! byte-deterministic for identical reports.
+//!
+//! [`Obs`]: pagoda_obs::Obs
+//! [`ObsBuffer`]: pagoda_obs::ObsBuffer
+//!
+//! # Example
+//!
+//! ```
+//! use pagoda_obs::{MarkKind, TaskState};
+//! use pagoda_prof::ProfRecorder;
+//!
+//! let (obs, prof) = ProfRecorder::recording();
+//! obs.mark(0, 7, MarkKind::Arrived);
+//! obs.task(100, 7, TaskState::Spawned);
+//! obs.task(400, 7, TaskState::Running);
+//! obs.task(900, 7, TaskState::Freed);
+//!
+//! let report = prof.report();
+//! assert_eq!(report.total().tasks, 1);
+//! assert_eq!(report.total().sojourn.sum(), 900);
+//!
+//! let mut prom = Vec::new();
+//! pagoda_prof::write_prometheus(&report, &mut prom).unwrap();
+//! pagoda_prof::check_exposition(std::str::from_utf8(&prom).unwrap()).unwrap();
+//! ```
+
+pub mod diff;
+pub mod export;
+pub mod hist;
+pub mod phase;
+pub mod recorder;
+pub mod report;
+pub mod slo;
+
+pub use diff::{diff_reports, PhaseDelta, ProfDiff};
+pub use export::{check_exposition, write_folded, write_prometheus};
+pub use hist::{HistSummary, LogHist};
+pub use phase::{decompose, Cuts, Decomposition, Phase};
+pub use recorder::ProfRecorder;
+pub use report::{GroupProf, GroupSummary, PhaseSummary, ProfReport, ProfSummary, TaskProf};
+pub use slo::{SloReport, SloSpec, SloTracker, SloViolation};

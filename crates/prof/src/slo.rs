@@ -1,0 +1,219 @@
+//! Per-tenant latency SLO tracking: targets, burn rate, violation
+//! ledger. All integer math (picoseconds and parts-per-million) so
+//! reports are byte-deterministic across hosts.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum violations retained verbatim; beyond this only the count
+/// grows (same cap discipline as `pagoda-check`'s violation list).
+pub const MAX_VIOLATIONS: usize = 64;
+
+/// A latency objective: "`objective_ppm` of tasks complete within
+/// `latency_ps`". E.g. `{ latency_ps: 50_000_000, objective_ppm:
+/// 990_000 }` reads "p99 ≤ 50 µs".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Latency target in picoseconds.
+    pub latency_ps: u64,
+    /// Fraction of tasks that must meet it, in parts-per-million.
+    pub objective_ppm: u32,
+}
+
+impl SloSpec {
+    /// Convenience: "p99 within `us` microseconds".
+    pub fn p99_us(us: u64) -> SloSpec {
+        SloSpec {
+            latency_ps: us * 1_000_000,
+            objective_ppm: 990_000,
+        }
+    }
+
+    /// The tolerated violation fraction, ppm.
+    pub fn error_budget_ppm(&self) -> u32 {
+        1_000_000 - self.objective_ppm.min(1_000_000)
+    }
+}
+
+/// One task that blew its latency target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloViolation {
+    /// Runtime task key.
+    pub task: u64,
+    /// Measured sojourn, picoseconds.
+    pub sojourn_ps: u64,
+    /// The target it missed.
+    pub target_ps: u64,
+}
+
+/// Online per-tenant SLO accounting. Feed every completed task's
+/// sojourn; read off the report at the end.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    tenant: u32,
+    spec: SloSpec,
+    total: u64,
+    violations: u64,
+    ledger: Vec<SloViolation>,
+}
+
+impl SloTracker {
+    /// A tracker for `tenant` against `spec`.
+    pub fn new(tenant: u32, spec: SloSpec) -> SloTracker {
+        SloTracker {
+            tenant,
+            spec,
+            total: 0,
+            violations: 0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Accounts one completed task.
+    pub fn observe(&mut self, task: u64, sojourn_ps: u64) {
+        self.total += 1;
+        if sojourn_ps > self.spec.latency_ps {
+            self.violations += 1;
+            if self.ledger.len() < MAX_VIOLATIONS {
+                self.ledger.push(SloViolation {
+                    task,
+                    sojourn_ps,
+                    target_ps: self.spec.latency_ps,
+                });
+            }
+        }
+    }
+
+    /// Fraction of tasks violating, ppm; 0 if no tasks.
+    pub fn violation_ppm(&self) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        self.violations * 1_000_000 / self.total
+    }
+
+    /// Burn rate in milli-units: observed violation fraction over the
+    /// error budget, ×1000. 1000 means burning exactly the budget;
+    /// anything above means the SLO is being missed. A zero error
+    /// budget (100 % objective) with any violation saturates to
+    /// `u64::MAX`.
+    pub fn burn_rate_milli(&self) -> u64 {
+        let budget = u64::from(self.spec.error_budget_ppm());
+        if budget == 0 {
+            return if self.violations == 0 { 0 } else { u64::MAX };
+        }
+        self.violation_ppm() * 1000 / budget
+    }
+
+    /// Final snapshot.
+    pub fn report(&self) -> SloReport {
+        SloReport {
+            tenant: self.tenant,
+            spec: self.spec,
+            tasks: self.total,
+            violations: self.violations,
+            violation_ppm: self.violation_ppm(),
+            burn_rate_milli: self.burn_rate_milli(),
+            met: self.violation_ppm() <= u64::from(self.spec.error_budget_ppm()),
+            ledger_dropped: self.violations.saturating_sub(self.ledger.len() as u64),
+            ledger: self.ledger.clone(),
+        }
+    }
+}
+
+/// Per-tenant SLO outcome, surfaced in `ServeReport`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Tenant index the objective applies to.
+    pub tenant: u32,
+    /// The declared objective.
+    pub spec: SloSpec,
+    /// Tasks accounted.
+    pub tasks: u64,
+    /// Tasks over target.
+    pub violations: u64,
+    /// Violation fraction, ppm.
+    pub violation_ppm: u64,
+    /// Burn rate, milli-units (1000 = exactly consuming the budget).
+    pub burn_rate_milli: u64,
+    /// Whether the objective held over the run.
+    pub met: bool,
+    /// Violations beyond [`MAX_VIOLATIONS`] not retained below.
+    pub ledger_dropped: u64,
+    /// First violations, verbatim.
+    pub ledger: Vec<SloViolation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rate_and_ppm_math() {
+        let mut t = SloTracker::new(
+            0,
+            SloSpec {
+                latency_ps: 100,
+                objective_ppm: 990_000, // 1% budget
+            },
+        );
+        for i in 0..100 {
+            t.observe(i, if i < 2 { 200 } else { 50 }); // 2% violate
+        }
+        assert_eq!(t.violation_ppm(), 20_000);
+        assert_eq!(t.burn_rate_milli(), 2_000); // 2x budget
+        let r = t.report();
+        assert!(!r.met);
+        assert_eq!(r.violations, 2);
+        assert_eq!(r.ledger.len(), 2);
+        assert_eq!(r.ledger_dropped, 0);
+    }
+
+    #[test]
+    fn slo_met_when_within_budget() {
+        let mut t = SloTracker::new(
+            1,
+            SloSpec {
+                latency_ps: 100,
+                objective_ppm: 900_000, // 10% budget
+            },
+        );
+        for i in 0..100 {
+            t.observe(i, if i < 5 { 200 } else { 50 }); // 5% violate
+        }
+        let r = t.report();
+        assert!(r.met);
+        assert_eq!(r.burn_rate_milli, 500);
+    }
+
+    #[test]
+    fn ledger_caps_and_counts_drops() {
+        let mut t = SloTracker::new(
+            0,
+            SloSpec {
+                latency_ps: 1,
+                objective_ppm: 999_999,
+            },
+        );
+        for i in 0..(MAX_VIOLATIONS as u64 + 10) {
+            t.observe(i, 100);
+        }
+        let r = t.report();
+        assert_eq!(r.ledger.len(), MAX_VIOLATIONS);
+        assert_eq!(r.ledger_dropped, 10);
+    }
+
+    #[test]
+    fn zero_budget_saturates() {
+        let mut t = SloTracker::new(
+            0,
+            SloSpec {
+                latency_ps: 10,
+                objective_ppm: 1_000_000,
+            },
+        );
+        t.observe(0, 5);
+        assert_eq!(t.burn_rate_milli(), 0);
+        t.observe(1, 50);
+        assert_eq!(t.burn_rate_milli(), u64::MAX);
+    }
+}

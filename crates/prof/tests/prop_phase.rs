@@ -1,0 +1,115 @@
+//! Property tests of the phase model: for *any* pattern of present /
+//! missing / out-of-order cut timestamps, a completed task's phase
+//! decomposition sums exactly to its sojourn, and histogram merge
+//! reproduces serial aggregation bucket-for-bucket.
+
+use pagoda_obs::{MarkKind, TaskState};
+use pagoda_prof::{decompose, Cuts, LogHist, Phase, ProfReport, TaskProf};
+use proptest::prelude::*;
+
+/// An optional timestamp (the vendored proptest has no `prop::option`,
+/// so presence is an explicit coin flip).
+fn maybe_ts() -> impl Strategy<Value = Option<u64>> {
+    (proptest::bool::ANY, 0u64..1 << 40).prop_map(|(present, t)| present.then_some(t))
+}
+
+/// An arbitrary cut set: each of the eight cuts independently present
+/// (with an arbitrary timestamp, monotone not required) or missing —
+/// except `freed`, which completion requires.
+fn arb_cuts() -> impl Strategy<Value = Cuts> {
+    (prop::collection::vec(maybe_ts(), 7), 0u64..1 << 40).prop_map(|(opt, freed)| {
+        let mut c = Cuts::default();
+        if let Some(t) = opt[0] {
+            c.note_mark(MarkKind::Arrived, t);
+        }
+        if let Some(t) = opt[1] {
+            c.note_mark(MarkKind::Admitted, t);
+        }
+        if let Some(t) = opt[2] {
+            c.note_state(TaskState::Spawned, t);
+        }
+        if let Some(t) = opt[3] {
+            c.note_state(TaskState::Enqueued, t);
+        }
+        if let Some(t) = opt[4] {
+            c.note_state(TaskState::Placed, t);
+        }
+        if let Some(t) = opt[5] {
+            c.note_state(TaskState::Running, t);
+        }
+        c.note_state(TaskState::Freed, freed);
+        if let Some(t) = opt[6] {
+            c.note_mark(MarkKind::Observed, t);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn phases_sum_to_sojourn(cuts in arb_cuts()) {
+        let d = decompose(&cuts).expect("freed is always set");
+        prop_assert_eq!(d.phases.iter().sum::<u64>(), d.sojourn_ps);
+        // Resolved timeline is monotone: every phase is non-negative by
+        // type, and the start is the earliest resolved cut.
+        let resolved = cuts.resolve().unwrap();
+        prop_assert!(resolved.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(d.start_ps, resolved[0]);
+        prop_assert_eq!(d.sojourn_ps, resolved[7] - resolved[0]);
+    }
+
+    #[test]
+    fn incomplete_tasks_never_decompose(
+        spawned in maybe_ts(),
+        running in maybe_ts(),
+    ) {
+        let mut c = Cuts::default();
+        if let Some(t) = spawned { c.note_state(TaskState::Spawned, t); }
+        if let Some(t) = running { c.note_state(TaskState::Running, t); }
+        prop_assert!(decompose(&c).is_none());
+    }
+
+    #[test]
+    fn hist_merge_is_exact(
+        samples in prop::collection::vec(0u64..1 << 48, 1..300),
+        split in 0usize..300,
+    ) {
+        let mut serial = LogHist::new();
+        for &s in &samples {
+            serial.record(s);
+        }
+        let cut = split.min(samples.len());
+        let mut a = LogHist::new();
+        let mut b = LogHist::new();
+        for &s in &samples[..cut] { a.record(s); }
+        for &s in &samples[cut..] { b.record(s); }
+        a.merge(&b);
+        prop_assert_eq!(&a, &serial);
+        prop_assert_eq!(a.p50_p95_p99(), serial.p50_p95_p99());
+        prop_assert_eq!(a.sum(), samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn aggregate_phase_totals_partition_group_sojourn(
+        cuts in prop::collection::vec(arb_cuts(), 1..40),
+        tenants in prop::collection::vec((proptest::bool::ANY, 0u32..3), 40),
+        devices in prop::collection::vec((proptest::bool::ANY, 0u32..3), 40),
+    ) {
+        let tasks: Vec<TaskProf> = cuts
+            .iter()
+            .zip(&tenants)
+            .zip(&devices)
+            .map(|((c, &(has_t, t)), &(has_d, d))| TaskProf {
+                cuts: *c,
+                tenant: has_t.then_some(t),
+                device: has_d.then_some(d),
+            })
+            .collect();
+        let r = ProfReport::aggregate(&tasks);
+        for g in &r.groups {
+            let phase_sum: u64 = Phase::ALL.iter().map(|&p| g.phase_total_ps(p)).sum();
+            prop_assert_eq!(phase_sum, g.sojourn.sum(), "group {}", &g.label);
+        }
+        prop_assert_eq!(r.total().tasks, tasks.len() as u64);
+    }
+}

@@ -95,6 +95,10 @@ pub struct ServeReport {
     pub avg_warp_occupancy: f64,
     /// Per-tenant aggregates.
     pub tenants: Vec<TenantReport>,
+    /// SLO outcomes, one per tenant that declared a
+    /// [`pagoda_prof::SloSpec`] (tenant-index order; empty when none
+    /// did).
+    pub slo: Vec<pagoda_prof::SloReport>,
 }
 
 /// Nearest-rank percentile of an unsorted sample (q in 0..=100).

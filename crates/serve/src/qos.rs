@@ -26,6 +26,9 @@ pub struct QueuedTask {
     pub seq: u64,
     /// Arrival instant (sojourn time is measured from here).
     pub arrival: SimTime,
+    /// Instant admission control accepted the task (the `admission`
+    /// phase of the prof decomposition ends here).
+    pub admitted: SimTime,
     /// Absolute completion deadline, if the tenant declared one.
     pub deadline: Option<SimTime>,
     /// The work itself.
@@ -244,6 +247,7 @@ mod tests {
             tenant,
             seq,
             arrival: SimTime::from_us(seq),
+            admitted: SimTime::from_us(seq),
             deadline: deadline_us.map(SimTime::from_us),
             desc: TaskDesc::uniform(32, WarpWork::compute(100, 1.0)),
         }

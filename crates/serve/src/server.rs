@@ -24,7 +24,8 @@ use desim::Dur;
 use pagoda_core::trace::TaskTrace;
 use pagoda_core::{PagodaConfig, PagodaRuntime, SubmitError, TaskDesc};
 use pagoda_host::Backend;
-use pagoda_obs::{Counter, Obs};
+use pagoda_obs::{Counter, MarkKind, Obs};
+use pagoda_prof::{SloSpec, SloTracker};
 use workloads::{Bench, GenOpts};
 
 use crate::admission::Admission;
@@ -58,6 +59,10 @@ pub struct TenantSpec {
     /// clock window, which keeps the aggregate offered rate constant for
     /// the whole run instead of decaying as fast tenants finish early.
     pub tasks: Option<usize>,
+    /// Latency objective for this tenant, if declared. Completed tasks'
+    /// sojourns are accounted against it and the outcome surfaces as a
+    /// [`pagoda_prof::SloReport`] in [`crate::metrics::ServeReport::slo`].
+    pub slo: Option<SloSpec>,
 }
 
 impl TenantSpec {
@@ -73,6 +78,7 @@ impl TenantSpec {
             bench,
             gen: GenOpts::default(),
             tasks: None,
+            slo: None,
         }
     }
 }
@@ -246,6 +252,12 @@ pub fn serve_on<B: Backend + ?Sized>(
     let caps: Vec<usize> = cfg.tenants.iter().map(|t| t.queue_cap).collect();
     let mut sched = cfg.policy.scheduler(&weights);
     let mut admission = Admission::new(&caps);
+    let mut slo_trackers: Vec<Option<SloTracker>> = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(ti, t)| t.slo.map(|s| SloTracker::new(ti as u32, s)))
+        .collect();
     let mut in_flight: Vec<InFlight> = Vec::new();
     let mut records: Vec<TaskRecord> = Vec::with_capacity(all.len());
     let mut expired = vec![0u64; nt];
@@ -287,6 +299,7 @@ pub fn serve_on<B: Backend + ?Sized>(
                     tenant: a.tenant,
                     seq: next_arr as u64,
                     arrival: a.at,
+                    admitted: rt.now(),
                     deadline: cfg.tenants[a.tenant].deadline.map(|d| a.at + d),
                     desc: a.desc.clone(),
                 };
@@ -308,6 +321,7 @@ pub fn serve_on<B: Backend + ?Sized>(
                 tenant,
                 seq,
                 arrival,
+                admitted,
                 deadline,
                 desc,
             } = qt;
@@ -323,6 +337,12 @@ pub fn serve_on<B: Backend + ?Sized>(
                 Ok(key) => {
                     records[seq as usize].spawn_us = Some(rt.now().as_us_f64());
                     obs.tenant(key, tenant as u32);
+                    // The runtime key exists only now, so the serving-side
+                    // timeline marks are emitted retroactively: their
+                    // `at_ps` carry the true arrival/admission instants
+                    // even though they enter the stream at spawn time.
+                    obs.mark(arrival.as_ps(), key, MarkKind::Arrived);
+                    obs.mark(admitted.as_ps(), key, MarkKind::Admitted);
                     in_flight.push(InFlight {
                         key,
                         seq: seq as usize,
@@ -338,6 +358,7 @@ pub fn serve_on<B: Backend + ?Sized>(
                         tenant,
                         seq,
                         arrival,
+                        admitted,
                         deadline,
                         desc,
                     };
@@ -364,6 +385,10 @@ pub fn serve_on<B: Backend + ?Sized>(
             let done = rt
                 .completion_time(f.key)
                 .expect("invariant: observed-done task has an output time");
+            obs.mark(done.as_ps(), f.key, MarkKind::Observed);
+            if let Some(tr) = &mut slo_trackers[f.tenant] {
+                tr.observe(f.key, done.as_ps().saturating_sub(f.arrival.as_ps()));
+            }
             let sojourn = (done - f.arrival).as_us_f64();
             let r = &mut records[f.seq];
             r.outcome = Outcome::Done;
@@ -436,6 +461,11 @@ pub fn serve_on<B: Backend + ?Sized>(
         avg_slot_occupancy: occ_sum / occ_rounds.max(1) as f64,
         avg_warp_occupancy: rt.warp_occupancy(),
         tenants,
+        slo: slo_trackers
+            .iter()
+            .flatten()
+            .map(SloTracker::report)
+            .collect(),
     };
     Ok(ServeOutcome {
         report,

@@ -25,6 +25,7 @@ fn item(tenant: usize, seq: u64, deadline_ps: Option<u64>) -> QueuedTask {
         tenant,
         seq,
         arrival: SimTime::from_ps(seq),
+        admitted: SimTime::from_ps(seq),
         deadline: deadline_ps.map(SimTime::from_ps),
         desc: TaskDesc::uniform(64, WarpWork::compute(10_000, 4.0)),
     }

@@ -10,11 +10,25 @@
 //! * a `Kill` fault injected at 60 us with `RetryPolicy::Resubmit`;
 //! * cluster counters surfaced through the `pagoda-obs` recorder.
 //!
-//! Run with `cargo run --release --example cluster`.
+//! Run with `cargo run --release --example cluster`. Pass `--prof DIR`
+//! to decompose every task's fleet sojourn into critical-path phases
+//! (per-device groups included, courtesy of the routing stream) and
+//! write `DIR/prof.prom` + `DIR/prof.folded`.
 
 use pagoda::prelude::*;
 
 fn main() {
+    let mut prof_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--prof" => {
+                prof_dir = Some(args.next().expect("--prof needs a directory").into());
+            }
+            other => panic!("unknown argument {other} (try --prof DIR)"),
+        }
+    }
+
     let mut cfg = ClusterConfig::uniform(4);
     cfg.placement = Placement::PowerOfTwo;
     cfg.seed = 0xf1ee7;
@@ -91,4 +105,52 @@ fn main() {
         buf.counter(Counter::ClusterDeviceKills),
         buf.devices.len()
     );
+
+    if let Some(dir) = prof_dir {
+        let prof = ProfReport::from_buffer(&buf);
+        // The telescoping contract, fleet edition: phases partition the
+        // summed sojourn in every group, dead device and resubmits
+        // notwithstanding.
+        for g in &prof.groups {
+            let phase_sum: u64 = Phase::ALL.iter().map(|&p| g.phase_total_ps(p)).sum();
+            assert_eq!(
+                phase_sum,
+                g.sojourn.sum(),
+                "phase decomposition must reconcile with sojourn in group {}",
+                g.label
+            );
+        }
+
+        println!("\ncritical-path decomposition by group:");
+        for g in &prof.summary().groups {
+            let execution = g
+                .phases
+                .iter()
+                .find(|p| p.phase == "execution")
+                .map_or(0, |p| p.total_ps);
+            println!(
+                "{:>10}: {:>4} tasks, p99 sojourn {:>8.1} us, execution share {:>5.1}%",
+                g.label,
+                g.tasks,
+                g.sojourn.p99_ps as f64 / 1e6,
+                100.0 * execution as f64
+                    / g.phases.iter().map(|p| p.total_ps).sum::<u64>().max(1) as f64,
+            );
+        }
+
+        std::fs::create_dir_all(&dir).expect("create prof dir");
+        let mut prom = Vec::new();
+        write_prometheus(&prof, &mut prom).expect("render exposition");
+        check_exposition(std::str::from_utf8(&prom).expect("exposition is utf-8"))
+            .expect("exposition parses");
+        std::fs::write(dir.join("prof.prom"), &prom).expect("write prof.prom");
+        let mut folded = Vec::new();
+        write_folded(&prof, &mut folded).expect("render folded stacks");
+        std::fs::write(dir.join("prof.folded"), &folded).expect("write prof.folded");
+        println!(
+            "profile exports written to {} ({} groups)",
+            dir.display(),
+            prof.groups.len()
+        );
+    }
 }

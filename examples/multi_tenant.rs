@@ -23,13 +23,18 @@
 //!   single runtime, and report the per-device fleet breakdown;
 //! * `--skew S` — reweight the tenants' arrival rates by a Zipf
 //!   distribution with exponent `S` (aggregate rate preserved), so the
-//!   head tenant dominates and the schedulers earn their keep.
+//!   head tenant dominates and the schedulers earn their keep;
+//! * `--prof DIR` — decompose every task's sojourn into critical-path
+//!   phases with `pagoda-prof`, print the phase table and per-tenant
+//!   SLO verdicts, and write `DIR/prof.prom` (Prometheus text
+//!   exposition) plus `DIR/prof.folded` (flamegraph folded stacks).
 
 use pagoda::prelude::*;
 
 fn main() {
     let mut devices = 1usize;
     let mut skew = 0.0f64;
+    let mut prof_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -47,7 +52,10 @@ fn main() {
                     .expect("--skew needs a Zipf exponent (e.g. 1.2)");
                 assert!(skew >= 0.0, "--skew must be non-negative");
             }
-            other => panic!("unknown argument {other} (try --devices N / --skew S)"),
+            "--prof" => {
+                prof_dir = Some(args.next().expect("--prof needs a directory").into());
+            }
+            other => panic!("unknown argument {other} (try --devices N / --skew S / --prof DIR)"),
         }
     }
 
@@ -55,6 +63,9 @@ fn main() {
     packets.weight = 4;
     packets.deadline = Some(Dur::from_us(1_500));
     packets.queue_cap = 128;
+    // The deadline is per-task best effort; the SLO is the aggregate
+    // promise the profiler audits: 99% of packets under 1.5 ms.
+    packets.slo = Some(SloSpec::p99_us(1_500));
 
     let mut tiles = TenantSpec::new("tiles", Bench::Mb, 2.5e5);
     tiles.weight = 2;
@@ -182,4 +193,72 @@ fn main() {
         buf.counter(Counter::AdmissionShed),
         buf.counter(Counter::SchedulerDecisions),
     );
+
+    for s in &r.slo {
+        println!(
+            "SLO {}: p{:.2} under {} us — {} of {} tasks late ({} ppm), burn rate {:.3}, {}",
+            r.tenants[s.tenant as usize].tenant,
+            s.spec.objective_ppm as f64 / 1e4,
+            s.spec.latency_ps / 1_000_000,
+            s.violations,
+            s.tasks,
+            s.violation_ppm,
+            s.burn_rate_milli as f64 / 1e3,
+            if s.met { "met" } else { "MISSED" },
+        );
+    }
+
+    if let Some(dir) = prof_dir {
+        let prof = ProfReport::from_buffer(&buf);
+        // The telescoping contract: per group, the seven phases
+        // partition the summed sojourn exactly.
+        for g in &prof.groups {
+            let phase_sum: u64 = Phase::ALL.iter().map(|&p| g.phase_total_ps(p)).sum();
+            assert_eq!(
+                phase_sum,
+                g.sojourn.sum(),
+                "phase decomposition must reconcile with sojourn in group {}",
+                g.label
+            );
+        }
+
+        let summary = prof.summary();
+        println!(
+            "\ncritical-path decomposition ({} completed tasks):",
+            prof.total().tasks
+        );
+        println!(
+            "{:>12} {:>12} {:>10} {:>10} {:>7}",
+            "phase", "total(us)", "mean(us)", "p99(us)", "share"
+        );
+        let wall: u64 = prof.total().sojourn.sum();
+        for p in &summary.groups[0].phases {
+            println!(
+                "{:>12} {:>12.1} {:>10.2} {:>10.2} {:>6.1}%",
+                p.phase,
+                p.total_ps as f64 / 1e6,
+                p.mean_ps as f64 / 1e6,
+                p.p99_ps as f64 / 1e6,
+                100.0 * p.total_ps as f64 / wall.max(1) as f64,
+            );
+        }
+
+        std::fs::create_dir_all(&dir).expect("create prof dir");
+        let prom_path = dir.join("prof.prom");
+        let mut prom = Vec::new();
+        write_prometheus(&prof, &mut prom).expect("render exposition");
+        check_exposition(std::str::from_utf8(&prom).expect("exposition is utf-8"))
+            .expect("exposition parses");
+        std::fs::write(&prom_path, &prom).expect("write prof.prom");
+        let folded_path = dir.join("prof.folded");
+        let mut folded = Vec::new();
+        write_folded(&prof, &mut folded).expect("render folded stacks");
+        std::fs::write(&folded_path, &folded).expect("write prof.folded");
+        println!(
+            "profile exports written to {} and {} ({} groups)",
+            prom_path.display(),
+            folded_path.display(),
+            prof.groups.len()
+        );
+    }
 }

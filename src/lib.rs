@@ -33,6 +33,7 @@
 //! | [`workloads`] | the eight evaluation benchmarks + MPE |
 //! | [`pagoda_serve`] | multi-tenant serving: admission control + QoS |
 //! | [`pagoda_obs`] | cross-layer observability: spans, counters, exporters |
+//! | [`pagoda_prof`] | critical-path profiling, latency decomposition, SLOs |
 //! | [`pagoda_cluster`] | multi-GPU fleets: routed placement + failover |
 //! | [`pagoda_host`] | ergonomic host-side handle over the runtime |
 //!
@@ -77,6 +78,7 @@ pub use pagoda_cluster;
 pub use pagoda_core;
 pub use pagoda_host;
 pub use pagoda_obs;
+pub use pagoda_prof;
 pub use pagoda_serve;
 pub use pcie;
 pub use workloads;
@@ -100,6 +102,9 @@ pub mod prelude {
     };
     pub use pagoda_host::Backend;
     pub use pagoda_obs::{Counter, MemRecorder, Obs, ObsBuffer, Recorder, TaskState};
+    pub use pagoda_prof::{
+        check_exposition, write_folded, write_prometheus, Phase, ProfRecorder, ProfReport, SloSpec,
+    };
     pub use pagoda_serve::{
         serve, serve_on, ArrivalSpec, Policy, ServeConfig, ServeError, TenantSpec,
     };

@@ -1,0 +1,127 @@
+//! Profiler stack tests: golden-file byte-stability of the `pagoda-prof`
+//! exports, serial/parallel driver equivalence, and the telescoping
+//! phase contract on a real served workload.
+//!
+//! The goldens live in `tests/golden/`. They are byte-exact on purpose:
+//! the exports are integer-only (picoseconds, counts) precisely so that
+//! a determinism regression anywhere in the stack — engine, fleet
+//! merge, recorder replay, profiler aggregation — shows up as a diff
+//! here. Regenerate after an intentional stream change with
+//! `PAGODA_UPDATE_GOLDEN=1 cargo test --test prof_stack`.
+
+use pagoda_cluster::{ClusterConfig, ClusterHandle};
+use pagoda_prof::{
+    check_exposition, diff_reports, write_folded, write_prometheus, Phase, ProfRecorder,
+    ProfReport, SloSpec,
+};
+use pagoda_serve::{serve_on, Policy, ServeConfig, TenantSpec};
+use workloads::Bench;
+
+/// A small deterministic two-tenant mix on a two-device fleet.
+fn profiled_run(parallel: bool) -> (ProfReport, String) {
+    let mut alpha = TenantSpec::new("alpha", Bench::Des3, 4.0e5);
+    alpha.queue_cap = 64;
+    alpha.weight = 2;
+    alpha.slo = Some(SloSpec::p99_us(2_000));
+    let mut beta = TenantSpec::new("beta", Bench::Dct, 2.0e5);
+    beta.queue_cap = 64;
+    let mut cfg = ServeConfig::new(vec![alpha, beta], Policy::WeightedFair);
+    cfg.tasks_per_tenant = 64;
+    cfg.mix = "prof-golden".into();
+    let (obs, rec) = ProfRecorder::recording();
+    cfg.obs = obs;
+    let mut ccfg = ClusterConfig::uniform(2);
+    ccfg.parallel = parallel;
+    let mut fleet = ClusterHandle::new(ccfg).expect("uniform config is valid");
+    let out = serve_on(&cfg, &mut fleet).expect("golden config serves");
+    let slo_json = serde_json::to_string(&out.report.slo).expect("slo reports serialize");
+    (rec.report(), slo_json)
+}
+
+fn render(report: &ProfReport) -> (String, String) {
+    let mut prom = Vec::new();
+    write_prometheus(report, &mut prom).expect("render exposition");
+    let mut folded = Vec::new();
+    write_folded(report, &mut folded).expect("render folded stacks");
+    (
+        String::from_utf8(prom).expect("exposition is utf-8"),
+        String::from_utf8(folded).expect("folded is utf-8"),
+    )
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("PAGODA_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {} ({e}); regenerate with PAGODA_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from the committed golden; if the stream change is \
+         intentional, regenerate with PAGODA_UPDATE_GOLDEN=1",
+    );
+}
+
+#[test]
+fn exports_match_the_committed_goldens() {
+    let (report, slo) = profiled_run(false);
+    let (prom, folded) = render(&report);
+    check_exposition(&prom).expect("exposition parses");
+    assert_golden("prof.prom", &prom);
+    assert_golden("prof.folded", &folded);
+    assert_golden("slo.json", &slo);
+}
+
+#[test]
+fn parallel_driver_exports_are_byte_identical() {
+    let (serial, serial_slo) = profiled_run(false);
+    let (parallel, parallel_slo) = profiled_run(true);
+    assert_eq!(render(&serial), render(&parallel));
+    assert_eq!(serial_slo, parallel_slo);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn phases_partition_sojourn_in_every_group() {
+    let (report, _) = profiled_run(false);
+    assert!(report.total().tasks > 0, "the run must complete tasks");
+    for g in &report.groups {
+        let phase_sum: u64 = Phase::ALL.iter().map(|&p| g.phase_total_ps(p)).sum();
+        assert_eq!(phase_sum, g.sojourn.sum(), "group {}", g.label);
+    }
+}
+
+#[test]
+fn self_diff_is_clean_and_regressions_are_flagged() {
+    let (base, _) = profiled_run(false);
+    let diff = diff_reports(&base, &base, 5, 1_000);
+    assert!(diff.clean(), "a report cannot regress against itself");
+
+    // Blow one phase's mean well past the floor: must flag.
+    let mut worse = base.clone();
+    let g = &mut worse.groups[0];
+    let (i, old_mean) = Phase::ALL
+        .iter()
+        .map(|&p| (p as usize, g.phases[p as usize].mean()))
+        .find(|&(_, m)| m > 1_000)
+        .expect("some phase has measurable time");
+    for _ in 0..g.phases[i].count() {
+        g.phases[i].record(old_mean * 100);
+    }
+    let diff = diff_reports(&base, &worse, 5, 1_000);
+    assert!(!diff.clean());
+    assert!(diff.regressed().next().is_some());
+}
